@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs one paper experiment end to end inside the simulator;
+wall-clock numbers from pytest-benchmark measure the *simulator*, while
+the reproduced figure data lands in ``benchmark.extra_info`` and is
+printed with ``-s``.  One round per benchmark: the simulations are
+deterministic, so repetition adds nothing.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under pytest-benchmark; return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,62 @@
+"""Bench E1 — Fig. 9: latency and throughput of local logging setups.
+
+Regenerates both panels of the paper's Fig. 9: average transaction
+latency (log scale) and committed-transactions-per-second versus worker
+count, for No-Log / Memory / NVMe / Villars-SRAM / Villars-DRAM.
+"""
+
+from repro.bench import format_series, format_table
+from repro.bench.fig09_local_logging import run_fig09
+
+COLUMNS = (
+    ("setup", "setup", ""),
+    ("workers", "workers", "d"),
+    ("mean_latency_us", "latency [us]", ".1f"),
+    ("throughput_ktps", "throughput [ktxn/s]", ".1f"),
+)
+
+
+def by(rows, setup, workers):
+    for row in rows:
+        if row["setup"] == setup and row["workers"] == workers:
+            return row
+    raise KeyError((setup, workers))
+
+
+def test_fig09(run_once):
+    rows = run_once(run_fig09)
+    print()
+    print(format_table(rows, COLUMNS, title="Fig. 9 — logging to local storage"))
+    print()
+    print("latency series [us]:")
+    print(format_series(rows, "workers", "mean_latency_us", "setup"))
+    print("throughput series [ktxn/s]:")
+    print(format_series(rows, "workers", "throughput_ktps", "setup"))
+
+    # --- the paper's shape ------------------------------------------------
+    for workers in (1, 2, 4, 8):
+        memory = by(rows, "memory", workers)
+        sram = by(rows, "villars-sram", workers)
+        dram = by(rows, "villars-dram", workers)
+        nvme = by(rows, "nvme", workers)
+        # Latency: memory and Villars-SRAM are comparable; NVMe is an
+        # order of magnitude worse (Fig. 9 left, log scale).
+        assert sram["mean_latency_us"] < 3 * memory["mean_latency_us"]
+        assert nvme["mean_latency_us"] > 5 * sram["mean_latency_us"]
+        # DRAM sits between SRAM and NVMe.
+        assert sram["mean_latency_us"] <= dram["mean_latency_us"] * 1.05
+        assert dram["mean_latency_us"] < nvme["mean_latency_us"]
+
+    # Throughput: at 8 workers the conventional side saturates around
+    # 200 ktxn/s while the fast side keeps scaling with the no-log curve.
+    nvme8 = by(rows, "nvme", 8)
+    sram8 = by(rows, "villars-sram", 8)
+    nolog8 = by(rows, "no-log", 8)
+    assert 80 < nvme8["throughput_ktps"] < 260
+    assert sram8["throughput_ktps"] > 2 * nvme8["throughput_ktps"]
+    assert sram8["throughput_ktps"] > 0.8 * nolog8["throughput_ktps"]
+    # Latency drops (or at least does not grow) with more workers for the
+    # fast setups: the 16 KB group fills faster.
+    mem1 = by(rows, "memory", 1)["mean_latency_us"]
+    mem8 = by(rows, "memory", 8)["mean_latency_us"]
+    assert mem8 <= mem1 * 1.5

@@ -1,0 +1,60 @@
+"""Bench E3 — Fig. 11: group-commit size x CMB queue size on SRAM.
+
+Regenerates both panels: per-write latency (top) and throughput (bottom)
+for group-commit sizes on the x-axis with queue sizes as series.
+"""
+
+from repro.bench import format_series, format_table
+from repro.bench.fig11_queue_size import run_fig11
+from repro.sim.units import KIB
+
+COLUMNS = (
+    ("queue_kib", "queue [KiB]", "d"),
+    ("group_kib", "group [KiB]", "d"),
+    ("mean_latency_us", "latency [us]", ".1f"),
+    ("throughput_mb_per_s", "throughput [MB/s]", ".0f"),
+    ("credit_checks", "credit checks", "d"),
+)
+
+
+def cell(rows, queue_kib, group_kib):
+    for row in rows:
+        if (row["queue_kib"], row["group_kib"]) == (queue_kib, group_kib):
+            return row
+    raise KeyError((queue_kib, group_kib))
+
+
+def test_fig11(run_once):
+    rows = run_once(run_fig11)
+    print()
+    print(format_table(rows, COLUMNS,
+                       title="Fig. 11 — group commit x queue size (SRAM)"))
+    print("\nlatency series [us] (series = queue KiB):")
+    print(format_series(rows, "group_kib", "mean_latency_us", "queue_kib"))
+    print("throughput series [MB/s] (series = queue KiB):")
+    print(format_series(rows, "group_kib", "throughput_mb_per_s",
+                        "queue_kib", y_spec=".0f"))
+
+    queue_sizes = sorted({row["queue_kib"] for row in rows})
+    group_sizes = sorted({row["group_kib"] for row in rows})
+
+    # Latency is dominated by the write size once the queue holds it:
+    # along any queue series, latency grows with the group size.
+    for queue_kib in queue_sizes:
+        curve = [cell(rows, queue_kib, g)["mean_latency_us"]
+                 for g in group_sizes]
+        for earlier, later in zip(curve, curve[1:]):
+            assert later >= earlier * 0.95, (queue_kib, curve)
+
+    # A queue >= the write needs no mid-write credit checks; smaller
+    # queues pay checks proportional to the deficit.
+    assert (cell(rows, 4, 64)["credit_checks"]
+            > cell(rows, 32, 64)["credit_checks"])
+
+    # The 32 KiB queue achieves (near-)best throughput across group sizes
+    # (the paper's headline for this experiment).
+    for group_kib in group_sizes:
+        best = max(cell(rows, q, group_kib)["throughput_mb_per_s"]
+                   for q in queue_sizes)
+        q32 = cell(rows, 32, group_kib)["throughput_mb_per_s"]
+        assert q32 >= 0.9 * best, (group_kib, q32, best)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""TPC-C logging comparison: the Fig. 9 experiment as a runnable script.
+
+Runs a TPC-C-shaped workload against the five logging setups of the
+paper's first experiment — No-Log, host NVDIMM ("Memory"), conventional
+NVMe, Villars-SRAM, Villars-DRAM — and prints the latency/throughput
+table of Fig. 9.
+
+Run:  python examples/tpcc_logging.py [--workers 1 2 4 8] [--txns 100]
+"""
+
+import argparse
+
+from repro.bench import format_series, format_table
+from repro.bench.fig09_local_logging import SETUPS, run_fig09
+
+COLUMNS = (
+    ("setup", "setup", ""),
+    ("workers", "workers", "d"),
+    ("mean_latency_us", "latency [us]", ".1f"),
+    ("throughput_ktps", "throughput [ktxn/s]", ".1f"),
+    ("commits", "commits", "d"),
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, nargs="+",
+                        default=[1, 2, 4, 8])
+    parser.add_argument("--txns", type=int, default=100,
+                        help="transactions per worker")
+    parser.add_argument("--setups", nargs="+", default=list(SETUPS),
+                        choices=list(SETUPS))
+    args = parser.parse_args()
+
+    rows = run_fig09(setups=args.setups, worker_counts=args.workers,
+                     transactions_per_worker=args.txns)
+    print(format_table(rows, COLUMNS,
+                       title="Fig. 9 — TPC-C logging to local storage"))
+    print()
+    print("latency [us] by worker count:")
+    print(format_series(rows, "workers", "mean_latency_us", "setup"))
+    print()
+    print("throughput [ktxn/s] by worker count:")
+    print(format_series(rows, "workers", "throughput_ktps", "setup"))
+    print()
+    print("Reading the shape (cf. the paper's Fig. 9):")
+    print(" * Memory and Villars-SRAM latencies are comparable;")
+    print(" * NVMe latency is an order of magnitude higher;")
+    print(" * at 8 workers the NVMe path saturates (~200 ktxn/s in the")
+    print("   paper) while the fast side tracks the no-log ceiling;")
+    print(" * Villars-DRAM shows back-pressure at high worker counts.")
+
+
+if __name__ == "__main__":
+    main()

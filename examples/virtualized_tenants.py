@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Multi-tenant CMB segmentation (the Section 7.2 hyperscaler scenario).
+
+One Villars device, several virtual databases: the CMB is carved into
+isolated per-tenant segments, each with its own ring, credit counter,
+and crash-consistency window.  Tenants share the physical intake and PM
+bandwidth but never each other's counters — one tenant writing out of
+order (a gap) stalls only its own durability.
+
+Run:  python examples/virtualized_tenants.py
+"""
+
+from repro.bench.stacks import bench_ssd_config
+from repro.core import SegmentedCmb, XssdDevice, villars_sram
+from repro.core.metrics import device_snapshot
+from repro.sim import Engine, KIB
+
+
+def main():
+    engine = Engine()
+    device = XssdDevice(
+        engine,
+        villars_sram(ssd=bench_ssd_config(), cmb_queue_bytes=32 * KIB),
+    ).start()
+    segmented = SegmentedCmb(device, segments=4)
+
+    tenants = {
+        name: segmented.provision(name)
+        for name in ("orders-db", "billing-db", "metrics-db")
+    }
+
+    def orderly_tenant(name, nbytes, rounds):
+        segment = segmented.segment_of(name)
+        offset = 0
+        for _ in range(rounds):
+            yield segmented.segment_write(segment, offset, nbytes,
+                                          f"{name}-chunk")
+            offset += nbytes
+
+    def sloppy_tenant(name):
+        """Writes out of order: its own credit stalls at the gap."""
+        segment = segmented.segment_of(name)
+        # Write [1024, 1536) first — a hole at [0, 1024).
+        yield segmented.segment_write(segment, 1024, 512, "late-half")
+        yield engine.timeout(200_000.0)
+        # Now fill the hole; the counter jumps over both chunks.
+        yield segmented.segment_write(segment, 0, 1024, "early-half")
+
+    engine.process(orderly_tenant("orders-db", 2 * KIB, 6))
+    engine.process(orderly_tenant("billing-db", 1 * KIB, 4))
+    engine.process(sloppy_tenant("metrics-db"))
+    engine.run(until=100_000_000.0)
+
+    print("per-tenant usage report (isolated counters):")
+    for name, usage in sorted(segmented.usage_report().items()):
+        print(f"  {name:12s} received={usage['received']:6d} B  "
+              f"persistent={usage['persistent']:6d} B  "
+              f"in-flight={usage['in_flight']} B")
+
+    orders = tenants["orders-db"]
+    metrics = tenants["metrics-db"]
+    assert orders.credit.value == 6 * 2 * KIB
+    assert metrics.credit.value == 1536  # gap resolved, both halves count
+    print("\nisolation held: the metrics tenant's out-of-order window "
+          "never touched the other tenants' counters")
+    snapshot = device_snapshot(device)
+    print(f"device totals: backing writes = "
+          f"{snapshot['fast_side']['backing']['bytes_written']} B "
+          f"(all tenants share the physical port)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment lacks the `wheel` package, so the
+PEP 517 editable-install path (which builds a wheel) fails.  Keeping a
+setup.py lets `pip install -e . --no-use-pep517` use `setup.py develop`."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""Command-line entry point: regenerate any paper figure from the shell.
+
+Usage::
+
+    python -m repro.bench fig09 [--txns 150] [--workers 1 2 4 8]
+    python -m repro.bench fig10
+    python -m repro.bench fig11
+    python -m repro.bench fig12
+    python -m repro.bench fig13
+    python -m repro.bench all
+
+Prints the same tables the pytest benchmarks print, without requiring
+pytest — handy for quick sweeps with custom parameters.
+"""
+
+import argparse
+import sys
+
+from repro.bench import (
+    format_series,
+    format_table,
+    run_fig09,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+)
+
+
+def _fig09(args):
+    rows = run_fig09(worker_counts=tuple(args.workers),
+                     transactions_per_worker=args.txns)
+    print(format_table(rows, (
+        ("setup", "setup", ""),
+        ("workers", "workers", "d"),
+        ("mean_latency_us", "latency [us]", ".1f"),
+        ("throughput_ktps", "throughput [ktxn/s]", ".1f"),
+    ), title="Fig. 9 — logging to local storage"))
+    print("\nlatency series [us]:")
+    print(format_series(rows, "workers", "mean_latency_us", "setup"))
+    print("throughput series [ktxn/s]:")
+    print(format_series(rows, "workers", "throughput_ktps", "setup"))
+
+
+def _fig10(args):
+    rows = run_fig10()
+    print(format_table(rows, (
+        ("backing", "backing", ""),
+        ("policy", "policy", ""),
+        ("write_bytes", "write [B]", "d"),
+        ("throughput_bytes_per_ns", "throughput [GB/s]", ".3f"),
+        ("normalized", "normalized", ".3f"),
+    ), title="Fig. 10 — write combining"))
+
+
+def _fig11(args):
+    rows = run_fig11()
+    print(format_table(rows, (
+        ("queue_kib", "queue [KiB]", "d"),
+        ("group_kib", "group [KiB]", "d"),
+        ("mean_latency_us", "latency [us]", ".1f"),
+        ("throughput_mb_per_s", "throughput [MB/s]", ".0f"),
+        ("credit_checks", "checks", "d"),
+    ), title="Fig. 11 — group commit x queue size"))
+
+
+def _fig12(args):
+    rows = run_fig12()
+    print(format_table(rows, (
+        ("mode", "mode", ""),
+        ("fast_offered_pct", "fast offered [%]", ".0f"),
+        ("conv_achieved_pct", "conv achieved [%]", ".1f"),
+        ("fast_achieved_pct", "fast achieved [%]", ".1f"),
+    ), title="Fig. 12 — opportunistic destaging"))
+
+
+def _fig13(args):
+    rows = run_fig13()
+    print(format_table(rows, (
+        ("update_period_us", "period [us]", ".1f"),
+        ("latency_low_us", "low [us]", ".2f"),
+        ("latency_median_us", "median [us]", ".2f"),
+        ("latency_high_us", "high [us]", ".2f"),
+        ("latency_spread_us", "spread [us]", ".2f"),
+        ("bandwidth_pct", "bandwidth [%]", ".2f"),
+    ), title="Fig. 13 — replication delay"))
+
+
+FIGURES = {
+    "fig09": _fig09,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument("figure", choices=[*FIGURES, "all"])
+    parser.add_argument("--txns", type=int, default=150,
+                        help="fig09: transactions per worker")
+    parser.add_argument("--workers", type=int, nargs="+",
+                        default=[1, 2, 4, 8],
+                        help="fig09: worker counts to sweep")
+    args = parser.parse_args(argv)
+    if args.figure == "all":
+        for name, runner in FIGURES.items():
+            runner(args)
+            print()
+    else:
+        FIGURES[args.figure](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

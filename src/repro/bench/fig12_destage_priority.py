@@ -1,0 +1,83 @@
+"""Experiment E4 / Fig. 12: opportunistic destaging under contention.
+
+Section 6.4: a conventional workload sized at ~50% of the device's write
+bandwidth runs alongside a fast-side workload swept from 30% to 60%.
+With *neutral* priority the two interfere once their sum passes the
+device's capacity — both lose bandwidth.  With *conventional* priority
+the conventional stream keeps its 50% and the fast stream absorbs the
+entire shortfall.
+
+The bench offers both workloads open-loop (paced, not closed-loop) so
+saturation shows up as completed-vs-offered shortfall, exactly like the
+figure's y-axis (achieved bandwidth).
+"""
+
+from repro.bench.stacks import bench_ssd_config
+from repro.sim import Engine
+from repro.ssd.device import ConventionalSsd
+from repro.ssd.scheduler import SchedulingMode, Source, WriteRequest
+from repro.workloads.synthetic import paced_append_stream
+
+FAST_FRACTIONS = (0.30, 0.40, 0.50, 0.60)
+MODES = {
+    "neutral": SchedulingMode.NEUTRAL,
+    "conventional-priority": SchedulingMode.CONVENTIONAL_PRIORITY,
+    "destage-priority": SchedulingMode.DESTAGE_PRIORITY,
+}
+
+
+def run_one(mode_name, fast_fraction, conventional_fraction=0.5,
+            duration_ns=40e6):
+    """One contention cell; returns achieved bandwidth per source."""
+    engine = Engine()
+    config = bench_ssd_config(scheduling_mode=MODES[mode_name])
+    ssd = ConventionalSsd(engine, config).start()
+    page = ssd.block_bytes
+    capacity = ssd.write_bandwidth_ceiling()  # bytes/ns
+
+    lba_counter = {"conv": 0, "dest": 1 << 20}
+
+    def submit_conventional(nbytes):
+        lba_counter["conv"] += 1
+        return ssd.scheduler.enqueue(
+            WriteRequest(Source.CONVENTIONAL, lba_counter["conv"],
+                         "conv", nbytes)
+        )
+
+    def submit_destage(nbytes):
+        lba_counter["dest"] += 1
+        return ssd.scheduler.enqueue(
+            WriteRequest(Source.DESTAGE, lba_counter["dest"], "fast", nbytes)
+        )
+
+    paced_append_stream(
+        engine, submit_conventional,
+        target_bytes_per_ns=conventional_fraction * capacity,
+        write_bytes=page, duration_ns=duration_ns, seed=1,
+    )
+    paced_append_stream(
+        engine, submit_destage,
+        target_bytes_per_ns=fast_fraction * capacity,
+        write_bytes=page, duration_ns=duration_ns, seed=2,
+    )
+    engine.run(until=duration_ns)
+    elapsed = duration_ns
+    conv_achieved = ssd.scheduler.bytes_written[Source.CONVENTIONAL] / elapsed
+    fast_achieved = ssd.scheduler.bytes_written[Source.DESTAGE] / elapsed
+    return {
+        "mode": mode_name,
+        "fast_offered_pct": fast_fraction * 100,
+        "conv_offered_pct": conventional_fraction * 100,
+        "conv_achieved_pct": 100 * conv_achieved / capacity,
+        "fast_achieved_pct": 100 * fast_achieved / capacity,
+        "capacity_bytes_per_ns": capacity,
+    }
+
+
+def run_fig12(modes=("neutral", "conventional-priority"),
+              fast_fractions=FAST_FRACTIONS, duration_ns=40e6):
+    rows = []
+    for mode_name in modes:
+        for fraction in fast_fractions:
+            rows.append(run_one(mode_name, fraction, duration_ns=duration_ns))
+    return rows

@@ -1,0 +1,99 @@
+"""Experiment E5 / Fig. 13: shadow-counter freshness vs update frequency.
+
+Section 6.5: a primary/secondary Villars pair over NTB.  The secondary
+reports its credit counter every ``period`` nanoseconds.  For each write
+against the primary's CMB we measure the time until the primary's shadow
+counter covers it — the moment the primary can declare the write safely
+replicated.  We also compute the interconnect bandwidth the counter
+updates consume at that period.
+
+Expected shape: high frequency (0.4 us) gives a tight latency band;
+lower frequency widens the band (the wait-for-next-cycle component is
+uniform in [0, period]); the bandwidth cost falls inversely with the
+period (~2-3% of the link at 0.4 us in the paper's setup).
+"""
+
+from repro.bench.stacks import bench_ssd_config
+from repro.cluster.topology import replicated_pair
+from repro.core.config import villars_sram
+from repro.core.transport import COUNTER_UPDATE_BYTES
+from repro.pcie.tlp import TLP_OVERHEAD_BYTES
+from repro.sim import Engine
+from repro.sim.stats import Candlestick
+from repro.sim.units import KIB, MICROS
+
+UPDATE_PERIODS_US = (0.4, 0.8, 1.2, 1.6)
+
+# The bandwidth budget the paper expresses the cost against: the
+# (deliberately constrained) x4 Gen2 PCIe path of the CMB, 2 GB/s.
+REFERENCE_BANDWIDTH = 2.0  # bytes/ns
+
+
+def run_one(update_period_us, writes=200, write_bytes=64,
+            gap_between_writes_ns=5_000.0):
+    """One period setting; returns the latency candlestick + bandwidth."""
+    engine = Engine()
+
+    def config_factory():
+        return villars_sram(
+            ssd=bench_ssd_config(),
+            cmb_queue_bytes=32 * KIB,
+            transport_update_period_ns=update_period_us * MICROS,
+        )
+
+    cluster = replicated_pair(engine, config_factory)
+    primary = cluster.primary
+    transport = primary.device.transport
+
+    # Latency bookkeeping: each write records its issue time and target
+    # counter value; the shadow watcher resolves them in order.
+    outstanding = []  # (target_value, issued_at)
+    samples = []
+
+    def on_shadow(_peer, value):
+        while outstanding and outstanding[0][0] <= value:
+            target, issued_at = outstanding.pop(0)
+            samples.append(engine.now - issued_at)
+
+    transport.watch_shadow(on_shadow)
+
+    def writer():
+        total = 0
+        for index in range(writes):
+            issued_at = engine.now
+            total += write_bytes
+            outstanding.append((total, issued_at))
+            yield primary.device.fast_write(
+                index * write_bytes, write_bytes, f"w{index}"
+            )
+            yield primary.device.fast_fence()
+            yield engine.timeout(gap_between_writes_ns)
+
+    done = engine.process(writer())
+    engine.run(until=engine.now + 120e6)
+    if not done.triggered or len(samples) < writes * 0.9:
+        raise RuntimeError(
+            f"replication stalled at period {update_period_us} us "
+            f"({len(samples)}/{writes} samples)"
+        )
+    # Bandwidth cost: one counter-update TLP per period, on the wire.
+    update_wire = COUNTER_UPDATE_BYTES + TLP_OVERHEAD_BYTES
+    period_ns = update_period_us * MICROS
+    bandwidth_fraction = (update_wire / period_ns) / REFERENCE_BANDWIDTH
+    stick = Candlestick(samples)
+    return {
+        "update_period_us": update_period_us,
+        "latency_low_us": stick.low / 1e3,
+        "latency_q1_us": stick.q1 / 1e3,
+        "latency_median_us": stick.median / 1e3,
+        "latency_q3_us": stick.q3 / 1e3,
+        "latency_high_us": stick.high / 1e3,
+        "latency_spread_us": stick.spread / 1e3,
+        "bandwidth_pct": bandwidth_fraction * 100,
+        "updates_sent": cluster.servers["secondary"]
+        .device.transport.counter_updates_sent,
+    }
+
+
+def run_fig13(update_periods_us=UPDATE_PERIODS_US, writes=200):
+    return [run_one(period, writes) for period in update_periods_us]

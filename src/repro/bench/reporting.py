@@ -1,0 +1,47 @@
+"""Text rendering for benchmark results: figure-shaped tables and series."""
+
+
+def format_table(rows, columns, title=None):
+    """Render ``rows`` (dicts) as a fixed-width text table.
+
+    ``columns`` is a list of (key, header, format_spec) triples; e.g.
+    ``("latency_us", "latency [us]", ".1f")``.
+    """
+    headers = [header for _key, header, _spec in columns]
+    rendered = []
+    for row in rows:
+        cells = []
+        for key, _header, spec in columns:
+            value = row.get(key, "")
+            cells.append(format(value, spec) if spec and value != "" else
+                         str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def format_series(rows, x_key, y_key, series_key, y_spec=".1f"):
+    """Render rows as one text block per series (a figure's line set)."""
+    series = {}
+    for row in rows:
+        series.setdefault(row[series_key], []).append(row)
+    lines = []
+    for name in series:
+        points = sorted(series[name], key=lambda row: row[x_key])
+        rendered = ", ".join(
+            f"{point[x_key]}: {format(point[y_key], y_spec)}"
+            for point in points
+        )
+        lines.append(f"{str(name):24s} {rendered}")
+    return "\n".join(lines)

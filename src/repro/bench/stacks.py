@@ -1,0 +1,95 @@
+"""Shared stack builders for the benchmark experiments.
+
+Every experiment needs "a Villars device with the paper's shape" or one
+of the baseline logging paths; these builders centralize the default
+parameters so all figures run against the same simulated hardware.
+"""
+
+from repro.core.config import villars_dram, villars_sram
+from repro.core.device import XssdDevice
+from repro.db.engine import Database
+from repro.host.api import XssdLogFile
+from repro.host.baselines import NoLogFile, NvdimmLogFile, NvmeLogFile
+from repro.nand.geometry import Geometry
+from repro.nand.timing import NandTiming
+from repro.pm.nvdimm import Nvdimm
+from repro.sim import Engine
+from repro.sim.units import KIB, MIB
+from repro.workloads.tpcc import TpccWorkload
+
+# Simulated CPU time one in-memory TPC-C transaction costs a worker.
+# ERMIA-class engines reach ~300-400 ktxn/s on 8 cores; ~18 us/txn puts
+# the no-log ceiling in that band.
+TXN_CPU_NS = 18_000.0
+
+# Group commit setup from the paper: 16 KB threshold.
+GROUP_COMMIT_BYTES = 16 * KIB
+GROUP_COMMIT_TIMEOUT_NS = 50_000.0
+
+
+def bench_ssd_config(**overrides):
+    """A Cosmos+-shaped conventional side scaled for simulation speed.
+
+    Full channel/way parallelism (that drives the bandwidth behavior);
+    fewer blocks per die (that only bounds capacity, and the destage ring
+    wraps anyway).
+    """
+    base = dict(
+        geometry=Geometry(channels=8, ways_per_channel=8, blocks_per_die=48,
+                          pages_per_block=64, page_bytes=16 * KIB),
+        timing=NandTiming(),  # Cosmos+ MLC defaults
+        data_buffer_bytes=16 * MIB,
+    )
+    base.update(overrides)
+    from repro.ssd.device import SsdConfig
+
+    return SsdConfig(**base)
+
+
+def build_villars(engine, kind="sram", queue_bytes=32 * KIB, **overrides):
+    """A started Villars device with bench defaults."""
+    factory = villars_sram if kind == "sram" else villars_dram
+    config = factory(
+        ssd=bench_ssd_config(),
+        cmb_queue_bytes=queue_bytes,
+        destage_ring_blocks=1 << 16,
+        **overrides,
+    )
+    return XssdDevice(engine, config, name=f"villars-{kind}").start()
+
+
+def build_log_file(engine, setup):
+    """One of Fig. 9's five logging setups; returns (log_file, teardown)."""
+    if setup == "no-log":
+        return NoLogFile(engine)
+    if setup == "memory":
+        return NvdimmLogFile(engine, Nvdimm(engine, capacity=1 << 34))
+    if setup == "nvme":
+        from repro.ssd.device import ConventionalSsd
+
+        ssd = ConventionalSsd(engine, bench_ssd_config(), name="nvme").start()
+        return NvmeLogFile(engine, ssd)
+    if setup == "villars-sram":
+        return XssdLogFile(build_villars(engine, "sram"))
+    if setup == "villars-dram":
+        return XssdLogFile(build_villars(engine, "dram"))
+    raise ValueError(f"unknown logging setup {setup!r}")
+
+
+def build_tpcc_database(engine, log_file, workers):
+    """A populated TPC-C database with the paper's logging discipline.
+
+    ERMIA pins one log writer per core (the servers have 8), so the
+    flush pipeline is 8 deep regardless of how many workers generate
+    transactions — that is what keeps the device busy even at low worker
+    counts while the per-flush latency still shows up in commit latency.
+    """
+    database = Database(
+        engine, log_file,
+        group_commit_bytes=GROUP_COMMIT_BYTES,
+        group_commit_timeout_ns=GROUP_COMMIT_TIMEOUT_NS,
+        max_inflight_flushes=8,
+    )
+    TpccWorkload.create_schema(database)
+    TpccWorkload().populate(database)
+    return database

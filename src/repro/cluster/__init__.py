@@ -1,0 +1,23 @@
+"""Multi-server topologies: primary/secondary clusters over NTB.
+
+The paper's testbed is three Xeon servers, each hosting one Villars
+device, daisy-chained with NTB adapters.  This package wires simulated
+equivalents:
+
+* :class:`~repro.cluster.server.Server` — one host: a Villars device, the
+  drop-in log API, optionally a database;
+* :func:`~repro.cluster.topology.replicated_pair` /
+  :func:`~repro.cluster.topology.replicated_chain` — pre-wired clusters
+  with the transport roles configured through the admin-command path;
+* failure injection: power loss on any server, promotion of a secondary.
+"""
+
+from repro.cluster.server import Server
+from repro.cluster.topology import Cluster, replicated_chain, replicated_pair
+
+__all__ = [
+    "Server",
+    "Cluster",
+    "replicated_pair",
+    "replicated_chain",
+]

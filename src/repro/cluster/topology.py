@@ -1,0 +1,182 @@
+"""Pre-wired cluster topologies and the secondary apply loop."""
+
+from repro.cluster.server import Server
+from repro.core.replication import policy_by_name
+from repro.db.recovery import extract_records, apply_records
+from repro.pcie.ntb import NtbBridge
+from repro.ssd.nvme import AdminOpcode
+
+
+class Cluster:
+    """A set of servers with replication roles configured."""
+
+    def __init__(self, engine, servers, bridges, primary_name):
+        self.engine = engine
+        self.servers = {server.name: server for server in servers}
+        self.bridges = bridges
+        self.primary_name = primary_name
+
+    @property
+    def primary(self):
+        return self.servers[self.primary_name]
+
+    def secondaries(self):
+        return [
+            server
+            for name, server in self.servers.items()
+            if name != self.primary_name
+        ]
+
+    def set_replication_policy(self, policy_name):
+        """Switch the primary's counter-combination policy at runtime."""
+        policy_by_name(policy_name)  # validate early
+
+        def proc():
+            yield self.primary.device.admin(
+                AdminOpcode.XSSD_CONFIGURE, replication_policy=policy_name
+            )
+
+        return self.engine.process(proc(), name="set-policy")
+
+    def start_secondary_apply(self, server_name, database):
+        """Run the hot-standby loop: x_pread shipped pages, apply records.
+
+        This is step (3) of Fig. 1 (right): the remote database updates
+        its own memory from the log stream the devices replicated.
+        Returns the loop process; stop it with ``.stop()`` on the handle.
+        """
+        server = self.servers[server_name]
+        loop = SecondaryApplyLoop(self.engine, server, database)
+        loop.start()
+        return loop
+
+    def promote(self, new_primary_name):
+        """Fail over: make ``new_primary_name`` the primary for the rest.
+
+        The paper leaves data transfer during promotion to the database
+        (Section 7.1); this helper only flips transport roles, which is
+        exactly what the device offers.
+        """
+        def proc():
+            new_primary = self.servers[new_primary_name]
+            yield new_primary.device.admin(AdminOpcode.XSSD_SET_PRIMARY)
+            for name, server in self.servers.items():
+                if name == new_primary_name or server.device.halted:
+                    continue
+                yield new_primary.device.admin(
+                    AdminOpcode.XSSD_ADD_PEER, peer=name
+                )
+                yield server.device.admin(
+                    AdminOpcode.XSSD_SET_SECONDARY, primary=new_primary_name
+                )
+            self.primary_name = new_primary_name
+
+        return self.engine.process(proc(), name="promote")
+
+
+class SecondaryApplyLoop:
+    """Continuously applies destaged log pages into a standby database."""
+
+    def __init__(self, engine, server, database, poll_ns=50_000.0):
+        self.engine = engine
+        self.server = server
+        self.database = database
+        self.poll_ns = poll_ns
+        self.transactions_applied = 0
+        self._running = False
+        self._process = None
+
+    def start(self):
+        if self._running:
+            raise RuntimeError("apply loop already running")
+        self._running = True
+        self._process = self.engine.process(self._loop(),
+                                            name="secondary-apply")
+        return self._process
+
+    def stop(self):
+        self._running = False
+
+    def _loop(self):
+        log = self.server.log
+        while self._running:
+            destage = self.server.device.destage
+            if destage.durable_tail > log._read_sequence:
+                pages = yield log.x_pread(min_bytes=1)
+                records = extract_records(pages)
+                self.transactions_applied += apply_records(
+                    self.database, records
+                )
+            else:
+                yield self.engine.timeout(self.poll_ns)
+
+
+def _wire(engine, names, config_factory, ntb_bandwidth, ntb_hop_ns):
+    servers = [Server(engine, name, config_factory()) for name in names]
+    bridges = []
+    for left, right in zip(servers, servers[1:]):
+        bridges.append(
+            NtbBridge(engine, left.ntb_port, right.ntb_port,
+                      bandwidth=ntb_bandwidth, hop_latency=ntb_hop_ns)
+        )
+    for server in servers:
+        server.start()
+    return servers, bridges
+
+
+def replicated_pair(engine, config_factory, ntb_bandwidth=7.0,
+                    ntb_hop_ns=700.0, policy="eager"):
+    """Primary + one secondary over one NTB bridge (the Fig. 13 setup)."""
+    servers, bridges = _wire(
+        engine, ["primary", "secondary"], config_factory,
+        ntb_bandwidth, ntb_hop_ns,
+    )
+    cluster = Cluster(engine, servers, bridges, primary_name="primary")
+    primary, secondary = servers
+    primary.become_primary(["secondary"])
+    secondary.become_secondary("primary")
+    cluster.set_replication_policy(policy)
+    engine.run(until=engine.now + 100_000.0)  # let the admin commands land
+    return cluster
+
+
+def replicated_chain(engine, config_factory, secondaries=2,
+                     ntb_bandwidth=7.0, ntb_hop_ns=700.0):
+    """Primary + N daisy-chained secondaries (chain replication layout).
+
+    Each server mirrors to its right-hand neighbor; acknowledgements (the
+    credit counters) relay leftward, so the primary's single shadow
+    converges to the *tail's* progress — exactly the counter the chain
+    policy exposes.  Middle servers get a second NTB port, as a real
+    daisy-chained adapter provides.
+    """
+    from repro.pcie.ntb import NtbPort
+
+    names = ["primary"] + [f"secondary-{i}" for i in range(1, secondaries + 1)]
+    servers = [Server(engine, name, config_factory()) for name in names]
+    bridges = []
+    for left, right in zip(servers, servers[1:]):
+        if left.name == "primary":
+            left_port = left.ntb_port  # primary's main port faces right
+        else:
+            left_port = NtbPort(engine, f"{left.name}.right")
+            left.device.transport.attach_extra_port(left_port)
+        bridges.append(
+            NtbBridge(engine, left_port, right.ntb_port,
+                      bandwidth=ntb_bandwidth, hop_latency=ntb_hop_ns)
+        )
+        left.right_port = left_port
+    for server in servers:
+        server.start()
+    cluster = Cluster(engine, servers, bridges, primary_name="primary")
+    # Roles: head is primary, everyone else is secondary; every non-tail
+    # server opens a mirror flow toward its right neighbor.
+    transports = [server.device.transport for server in servers]
+    transports[0].set_primary()
+    for index in range(1, len(servers)):
+        transports[index].set_secondary(servers[index - 1].name)
+    for index, (left, right) in enumerate(zip(servers, servers[1:])):
+        transports[index].add_peer(right.name, port=left.right_port)
+    cluster.set_replication_policy("chain")
+    engine.run(until=engine.now + 100_000.0)
+    return cluster

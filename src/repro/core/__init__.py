@@ -1,0 +1,64 @@
+"""The X-SSD core: the paper's contribution.
+
+This package implements the three modules of the Villars reference design
+(Section 4, Fig. 4) on top of the conventional-SSD substrate:
+
+* :mod:`repro.core.cmb` — the **CMB module**: a PM-backed, byte-addressable
+  append area behind an MMIO window, with an SRAM intake queue, a credit
+  counter, and credit-based advisory flow control (Section 4.1);
+* :mod:`repro.core.transport` — the **Transport module**: mirrors the CMB
+  write stream to peer devices over NTB, maintains shadow counters, and
+  computes the replication-policy-visible counter (Section 4.2);
+* :mod:`repro.core.destage` — the **Destage module**: moves the CMB ring's
+  contiguous data into a ring of logical blocks on the conventional side,
+  bundling pages and meeting a latency threshold with filler (Section 4.3);
+
+plus the pieces that bind them:
+
+* :mod:`repro.core.ring` — the sequenced ring buffer both sides share,
+  enforcing the paper's gap rule (credit only advances over contiguous
+  data);
+* :mod:`repro.core.replication` — eager / lazy / chain counter policies;
+* :mod:`repro.core.crash` — the power-loss protocol (destage-on-crash
+  under supercapacitor reserve energy);
+* :mod:`repro.core.device` — the assembled :class:`XssdDevice` and the
+  Villars configurations (SRAM- and DRAM-backed).
+"""
+
+from repro.core.cmb import CmbModule
+from repro.core.config import VillarsConfig, villars_dram, villars_sram
+from repro.core.crash import PowerLossInjector
+from repro.core.destage import DestageModule
+from repro.core.device import XssdDevice
+from repro.core.multiwriter import MultiWriterCmb, WriterLane
+from repro.core.virtualization import CmbSegment, SegmentedCmb
+from repro.core.replication import (
+    ChainReplication,
+    EagerReplication,
+    LazyReplication,
+    ReplicationPolicy,
+)
+from repro.core.ring import RingOverflowError, SequencedRing
+from repro.core.transport import TransportModule, TransportRole
+
+__all__ = [
+    "SequencedRing",
+    "RingOverflowError",
+    "CmbModule",
+    "DestageModule",
+    "TransportModule",
+    "TransportRole",
+    "ReplicationPolicy",
+    "EagerReplication",
+    "LazyReplication",
+    "ChainReplication",
+    "PowerLossInjector",
+    "XssdDevice",
+    "MultiWriterCmb",
+    "WriterLane",
+    "SegmentedCmb",
+    "CmbSegment",
+    "VillarsConfig",
+    "villars_sram",
+    "villars_dram",
+]

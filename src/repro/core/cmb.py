@@ -1,0 +1,202 @@
+"""The CMB module: the fast side's intake pipeline and credit counter.
+
+Data path (Fig. 5 of the paper):
+
+1. TLPs arriving from the PCIe system carry store contributions;
+2. each contribution enters an SRAM intake **queue** whose size was
+   pre-negotiated with the database — this size is the flow-control
+   budget;
+3. a drain process moves queued chunks into the **backing memory** (SRAM
+   or DRAM, see :mod:`repro.pm.backing`), paying its port bandwidth;
+4. once a chunk reaches backing memory — never before — the **credit
+   counter** advances, but only over *contiguous* stream bytes (the gap
+   rule);
+5. the host polls the counter over the control MMIO interface.
+
+Writes are persistent once in backing memory (Section 4.1, "we offer the
+following semantics").  The Transport module, when active, taps the intake
+stream to mirror it to secondaries.
+"""
+
+from repro.core.ring import SequencedRing
+from repro.sim.resources import Container, Store
+from repro.sim.stats import Counter
+
+
+class CmbModule:
+    """The byte-addressable fast side of one X-SSD device."""
+
+    def __init__(self, engine, backing, queue_bytes, name="cmb"):
+        if queue_bytes <= 0:
+            raise ValueError("intake queue size must be positive")
+        self.engine = engine
+        self.backing = backing
+        self.queue_bytes = queue_bytes
+        self.name = name
+        self.ring = SequencedRing(capacity=backing.capacity)
+        self.credit = Counter(engine, name=f"{name}.credit")
+        # Intake queue: chunk FIFO plus a byte-space accountant.
+        self._intake = Store(engine)
+        self._queue_space = Container(engine, capacity=queue_bytes,
+                                      init=queue_bytes)
+        self._intake_taps = []
+        self._credit_watchers = []
+        # The chunk the drain is currently persisting; it still occupies
+        # SRAM until the PM write completes, so the crash path can salvage
+        # it (reserve energy finishes the move).
+        # Chunks whose PM write is in flight (issued, not yet applied).
+        # They still occupy SRAM queue slots until the write completes,
+        # and the crash path can salvage them (reserve energy finishes
+        # the moves).  Completions apply strictly in FIFO order because
+        # they share one port.
+        self._persisting = []
+        # Kicked by the destage module when it frees ring space; the drain
+        # waits on it instead of overflowing the PM ring.
+        self._ring_room_kick = engine.event()
+        self._running = False
+        self.bytes_received = 0
+        self.chunks_received = 0
+
+    # -- wiring -------------------------------------------------------------------
+
+    def start(self):
+        """Launch the queue drain process."""
+        if self._running:
+            raise RuntimeError("CMB module already started")
+        self._running = True
+        return self.engine.process(self._drain(), name=f"{self.name}-drain")
+
+    def stop(self):
+        self._running = False
+
+    def tap_intake(self, callback):
+        """Register ``callback(offset, nbytes, payload)`` on every arrival.
+
+        The Transport module mirrors the write stream through this tap —
+        the mirroring point is the CMB intake, per Fig. 6 step (1).
+        """
+        self._intake_taps.append(callback)
+
+    def watch_credit(self, callback):
+        """Register ``callback(value)`` fired when the credit advances."""
+        self._credit_watchers.append(callback)
+
+    # -- device-side intake ----------------------------------------------------------
+
+    def receive(self, offset, nbytes, payload=None):
+        """Accept a write chunk arriving via PCIe; returns an enqueue event.
+
+        The event fires when the chunk has entered the intake queue (space
+        permitting).  Persistence happens later, asynchronously, in the
+        drain process; the host learns about it from the credit counter.
+        """
+        if nbytes <= 0:
+            raise ValueError("chunks must carry at least one byte")
+        self.bytes_received += nbytes
+        self.chunks_received += 1
+        for tap in self._intake_taps:
+            tap(offset, nbytes, payload)
+        return self.engine.process(
+            self._enqueue(offset, nbytes, payload),
+            name=f"{self.name}-enqueue",
+        )
+
+    def receive_tlp(self, tlp):
+        """Adapter: unpack an MMIO TLP's contributions into :meth:`receive`.
+
+        Contributions are ``(stream_offset, nbytes, payload)`` triples the
+        host API attached in ``tlp.metadata`` (the simulator's stand-in for
+        inferring stream position from the write address).
+        """
+        contributions = tlp.metadata.get("contributions")
+        if contributions is None:
+            # Raw traffic from a non-streamed source: treat the wire
+            # address as the stream offset (first-lap semantics).
+            contributions = [(tlp.address, tlp.payload, None)]
+        last = None
+        for offset, nbytes, payload in contributions:
+            last = self.receive(offset, nbytes, payload)
+        if last is None:
+            # Carrier TLP with no logical data attached.
+            last = self.engine.timeout(0.0)
+        return last
+
+    def _enqueue(self, offset, nbytes, payload):
+        yield self._queue_space.get(nbytes)
+        yield self._intake.put((offset, nbytes, payload))
+
+    # -- drain: queue -> backing memory -----------------------------------------------
+
+    def ring_space_freed(self):
+        """Destage notification: the PM ring released some space."""
+        if not self._ring_room_kick.triggered:
+            self._ring_room_kick.succeed()
+
+    def _ring_room_wait(self):
+        if self._ring_room_kick.triggered:
+            self._ring_room_kick = self.engine.event()
+        return self._ring_room_kick
+
+    def _drain(self):
+        while self._running:
+            chunk = yield self._intake.get()
+            offset, nbytes, payload = chunk
+            # Stall while the PM ring's window is full: space frees as the
+            # destage module moves the head to flash.  The stall holds the
+            # intake queue occupied, which is exactly how back-pressure
+            # propagates to the host's credit budget.
+            while (offset + nbytes
+                   > self.ring.released + self.ring.capacity):
+                if not self._running:
+                    return
+                yield self._ring_room_wait()
+            # Issue the PM write and keep draining: writes pipeline on the
+            # backing port (its bandwidth serializes them; per-access
+            # latency overlaps), completing in FIFO order.
+            self._persisting.append(chunk)
+            self.backing.write(nbytes).then(self._on_persisted)
+
+    def _on_persisted(self, _event):
+        if not self._persisting:
+            return  # a crash already salvaged the pipeline
+        offset, nbytes, payload = self._persisting.pop(0)
+        self._queue_space.put(nbytes)
+        advanced = self.ring.write(offset, nbytes, payload)
+        if advanced:
+            value = self.credit.advance(advanced)
+            for watcher in self._credit_watchers:
+                watcher(value)
+
+    # -- control interface --------------------------------------------------------------
+
+    def read_credit(self):
+        """The counter value as the control interface returns it (instant).
+
+        The *latency* of polling is paid by the caller through the MMIO
+        ``load`` on the control region; this accessor is the device-side
+        register read.
+        """
+        return self.credit.value
+
+    @property
+    def in_flight_bytes(self):
+        """Bytes received but not yet persisted (queue + gaps)."""
+        return self.bytes_received - self.credit.value
+
+    def drain_pending_to_backing(self):
+        """Synchronously flush queue contents into the ring (crash path).
+
+        Used by the power-loss protocol: reserve energy lets the device
+        finish moving the intake queue into PM without simulation time
+        (the supercapacitor budget is modeled in
+        :mod:`repro.core.crash`).  Returns the bytes made contiguous.
+        """
+        advanced = 0
+        salvaged = list(self._persisting) + list(self._intake.peek_all())
+        self._persisting = []
+        for offset, nbytes, payload in salvaged:
+            advanced += self.ring.write(offset, nbytes, payload)
+        self._intake._items.clear()
+        if advanced:
+            self.credit.advance(advanced)
+        return advanced

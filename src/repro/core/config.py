@@ -1,0 +1,59 @@
+"""Device configuration: the Villars reference builds.
+
+Two presets mirror the prototype's CMB backing options (Section 6):
+
+* :func:`villars_sram` — 128 KiB of FPGA BlockRAM at 4 GB/s;
+* :func:`villars_dram` — 128 MiB carved out of the DDR3 data-buffer pool
+  at 2 GB/s, optionally *sharing the buffer's port* so fast-side intake
+  contends with regular buffering.
+
+Both constrain the PCIe interface to x4 Gen2 (2 GB/s) as the paper does
+for CMB experiments.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.sim.units import KIB, MIB
+from repro.ssd.device import SsdConfig
+from repro.ssd.scheduler import SchedulingMode
+
+
+@dataclass
+class VillarsConfig:
+    """Everything needed to assemble one Villars device."""
+
+    ssd: SsdConfig = field(default_factory=SsdConfig)
+    backing_kind: str = "sram"  # "sram" or "dram"
+    cmb_capacity: int = 128 * KIB
+    cmb_queue_bytes: int = 32 * KIB  # the best-performing size (Fig. 11)
+    dram_shares_buffer_port: bool = True
+    destage_latency_threshold_ns: float = 50_000.0
+    destage_ring_blocks: int = 4096
+    transport_update_period_ns: float = 400.0  # Fig. 13's best frequency
+
+    def __post_init__(self):
+        if self.backing_kind not in ("sram", "dram"):
+            raise ValueError("backing_kind must be 'sram' or 'dram'")
+        if self.cmb_queue_bytes <= 0:
+            raise ValueError("queue size must be positive")
+        if self.cmb_capacity < self.cmb_queue_bytes:
+            raise ValueError("CMB capacity must hold at least the queue")
+
+
+def villars_sram(**overrides):
+    """The Villars-SRAM configuration (BlockRAM-backed CMB)."""
+    config = VillarsConfig(backing_kind="sram", cmb_capacity=128 * KIB)
+    return replace(config, **overrides) if overrides else config
+
+
+def villars_dram(**overrides):
+    """The Villars-DRAM configuration (data-buffer-pool-backed CMB)."""
+    config = VillarsConfig(backing_kind="dram", cmb_capacity=128 * MIB)
+    return replace(config, **overrides) if overrides else config
+
+
+def with_scheduling_mode(config, mode):
+    """A copy of ``config`` whose conventional side uses ``mode``."""
+    if not isinstance(mode, SchedulingMode):
+        raise TypeError("mode must be a SchedulingMode")
+    return replace(config, ssd=replace(config.ssd, scheduling_mode=mode))

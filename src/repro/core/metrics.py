@@ -1,0 +1,116 @@
+"""Device observability: one structured snapshot of a Villars device.
+
+Operators of a real device would read these through SMART-style log
+pages; benchmarks and examples use them to explain results.  The
+snapshot is plain data (nested dicts of numbers/strings), cheap to take,
+and safe to take at any simulation instant — it never advances time.
+"""
+
+from repro.ssd.scheduler import Source
+
+
+def device_snapshot(device):
+    """A structured metrics snapshot of one :class:`XssdDevice`."""
+    cmb = device.cmb
+    ring = cmb.ring
+    destage = device.destage
+    conventional = device.conventional
+    scheduler = conventional.scheduler
+    transport = device.transport
+    elapsed = device.engine.now
+
+    return {
+        "time_ns": elapsed,
+        "fast_side": {
+            "bytes_received": cmb.bytes_received,
+            "chunks_received": cmb.chunks_received,
+            "credit": cmb.credit.value,
+            "in_flight_bytes": cmb.in_flight_bytes,
+            "queue_free_bytes": cmb._queue_space.level,
+            "ring": {
+                "capacity": ring.capacity,
+                "frontier": ring.frontier,
+                "released": ring.released,
+                "used_bytes": ring.used_bytes,
+                "has_gap": ring.has_gap,
+            },
+            "backing": {
+                "bytes_written": device.backing.bytes_written,
+                "bytes_read": device.backing.bytes_read,
+                "port_utilization": device.backing.port.utilization(elapsed),
+            },
+        },
+        "destage": {
+            "pages_written": destage.pages_written,
+            "filler_bytes": destage.filler_bytes_total,
+            "destaged_offset": destage.destaged_offset,
+            "outstanding_pages": destage._outstanding,
+            "ring_window": (destage.head_sequence, destage.durable_tail,
+                            destage.tail_sequence),
+        },
+        "conventional_side": {
+            "scheduler_mode": scheduler.mode.value,
+            "pages_by_source": {
+                "conventional": scheduler.dispatched[Source.CONVENTIONAL],
+                "destage": scheduler.dispatched[Source.DESTAGE],
+            },
+            "bytes_by_source": {
+                "conventional": scheduler.bytes_written[Source.CONVENTIONAL],
+                "destage": scheduler.bytes_written[Source.DESTAGE],
+            },
+            "ftl": {
+                "writes": conventional.ftl.writes_served,
+                "reads": conventional.ftl.reads_served,
+                "program_failures": conventional.ftl.program_failures,
+                "mapped_lbas": len(conventional.ftl.table),
+                "free_blocks": conventional.ftl.allocator.free_blocks(),
+                "bad_blocks": len(conventional.ftl.allocator.bad_blocks),
+            },
+            "gc": {
+                "collections": conventional.gc.collections,
+                "pages_migrated": conventional.gc.pages_migrated,
+            },
+            "buffer": {
+                "used_bytes": conventional.data_buffer.used_bytes,
+                "hits": conventional.data_buffer.hits,
+                "misses": conventional.data_buffer.misses,
+            },
+        },
+        "transport": {
+            "role": transport.role.value,
+            "status": transport.status_register,
+            "policy": transport.policy.name,
+            "visible_credit": transport.visible_counter(),
+            "shadow_counters": {
+                name: counter.value
+                for name, counter in transport.shadow_counters.items()
+            },
+            "updates_sent": transport.counter_updates_sent,
+            "updates_received": transport.counter_updates_received,
+        },
+        "link": {
+            "tlps_down": conventional.link.tlps_down,
+            "tlps_up": conventional.link.tlps_up,
+            "down_utilization": conventional.link.downstream.utilization(
+                elapsed
+            ),
+            "up_utilization": conventional.link.upstream.utilization(
+                elapsed
+            ),
+        },
+    }
+
+
+def format_snapshot(snapshot, indent=0):
+    """Render a snapshot as indented text for logs and examples."""
+    lines = []
+    pad = "  " * indent
+    for key, value in snapshot.items():
+        if isinstance(value, dict):
+            lines.append(f"{pad}{key}:")
+            lines.append(format_snapshot(value, indent + 1))
+        elif isinstance(value, float):
+            lines.append(f"{pad}{key}: {value:.3f}")
+        else:
+            lines.append(f"{pad}{key}: {value}")
+    return "\n".join(lines)

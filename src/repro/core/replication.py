@@ -1,0 +1,86 @@
+"""Replication policies: what counter value the database gets to see.
+
+Section 4.2: shadow counters can be combined in different ways, each
+yielding a different replication protocol.
+
+* **Eager** (the Villars default): the value returned is the most-delayed
+  counter among the secondaries — a log entry counts as persisted only
+  when it is persisted on *every* secondary.
+* **Lazy**: return the primary's own counter; secondaries catch up
+  asynchronously and never gate the database.
+* **Chain**: return the counter of the *last* secondary in the chain;
+  intermediate servers relay the tail's progress.
+
+All policies are pure functions of ``(local_counter, shadow_counters)``
+so they can be swapped at runtime via an admin command and property-tested
+in isolation.
+"""
+
+
+class ReplicationPolicy:
+    """Interface: combine local and shadow counters into the visible value."""
+
+    name = "abstract"
+
+    def visible_counter(self, local_value, shadows):
+        """``shadows`` is an ordered mapping peer-name -> counter value."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+class EagerReplication(ReplicationPolicy):
+    """Persisted everywhere or not persisted at all (primary-secondary eager)."""
+
+    name = "eager"
+
+    def visible_counter(self, local_value, shadows):
+        if not shadows:
+            return local_value
+        return min(min(shadows.values()), local_value)
+
+
+class LazyReplication(ReplicationPolicy):
+    """The database proceeds at local speed; replication trails behind."""
+
+    name = "lazy"
+
+    def visible_counter(self, local_value, shadows):
+        return local_value
+
+
+class ChainReplication(ReplicationPolicy):
+    """Acknowledge at the pace of the chain's tail.
+
+    The transport wires each device to report its successor's progress, so
+    the primary's single shadow already reflects the tail; the policy just
+    returns it (bounded by local persistence).
+    """
+
+    name = "chain"
+
+    def visible_counter(self, local_value, shadows):
+        if not shadows:
+            return local_value
+        # The primary keeps one shadow per direct successor; under chain
+        # topology there is exactly one, already carrying the tail's value.
+        tail_value = list(shadows.values())[-1]
+        return min(tail_value, local_value)
+
+
+POLICIES = {
+    policy.name: policy
+    for policy in (EagerReplication(), LazyReplication(), ChainReplication())
+}
+
+
+def policy_by_name(name):
+    """Look up a policy instance by its wire name (admin command argument)."""
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replication policy {name!r}; "
+            f"choose from {sorted(POLICIES)}"
+        ) from None

@@ -1,0 +1,297 @@
+"""The Transport module: replicating the CMB stream across devices.
+
+Data path (Fig. 6 of the paper): the primary's transport taps the CMB
+intake, repackages each chunk as a TLP, and ships it over NTB to each
+secondary — one mirror flow per secondary, each advancing at its own
+pace.  A secondary's transport feeds arriving packets into its own CMB
+module (so the secondary's persistence pipeline is identical to a local
+write), and periodically reports its credit counter back to the primary,
+which stores it in a *shadow counter*.
+
+Control knobs:
+
+* **role** — standalone / primary / secondary, switched at runtime via
+  vendor-specific NVMe admin commands;
+* **update period** — how often a secondary forwards its counter
+  (Fig. 13's x-axis): frequent updates give the primary a fresh, tight
+  view at the cost of interconnect bandwidth;
+* **replication policy** — how the primary combines shadow counters into
+  the value the database sees (:mod:`repro.core.replication`).
+"""
+
+import enum
+
+from repro.core.replication import EagerReplication
+from repro.pcie.tlp import Tlp, TlpType
+from repro.sim.stats import Counter
+
+# Wire size of one credit-counter update: an 8-byte counter value in a
+# minimal memory-write TLP.
+COUNTER_UPDATE_BYTES = 8
+
+# Per-chunk repackaging cost in the mirror path: the transport rewrites
+# the TLP's address for the peer's domain and re-queues it on the NTB
+# port (Section 4.2 "the module repackages the traffic").
+MIRROR_REPACKAGE_NS = 800.0
+
+# Cost of composing and posting one counter-update TLP on the secondary.
+COUNTER_UPDATE_COST_NS = 400.0
+
+
+class TransportRole(enum.Enum):
+    STANDALONE = "standalone"
+    PRIMARY = "primary"
+    SECONDARY = "secondary"
+
+
+class MirrorFlow:
+    """One primary->secondary replication stream.
+
+    Chunks queue here and a dedicated pump ships them in order over the
+    NTB port, so a slow secondary delays only its own flow (Section 4.2:
+    "it allows each secondary to receive traffic at an independent
+    pace").
+    """
+
+    def __init__(self, engine, peer_name, ntb_port):
+        self.engine = engine
+        self.peer_name = peer_name
+        self.ntb_port = ntb_port
+        self._backlog = []
+        self._kick = engine.event()
+        self.bytes_shipped = 0
+        self.running = True
+
+    def offer(self, offset, nbytes, payload):
+        self._backlog.append((offset, nbytes, payload))
+        if not self._kick.triggered:
+            self._kick.succeed()
+
+    def pump(self):
+        while self.running:
+            if not self._backlog:
+                if self._kick.triggered:
+                    self._kick = self.engine.event()
+                    continue
+                yield self._kick
+                continue
+            offset, nbytes, payload = self._backlog.pop(0)
+            yield self.engine.timeout(MIRROR_REPACKAGE_NS)
+            tlp = Tlp(
+                TlpType.MEMORY_WRITE,
+                address=offset,
+                payload=nbytes,
+                metadata={"contributions": [(offset, nbytes, payload)],
+                          "kind": "mirror"},
+            )
+            yield self.ntb_port.send(tlp)
+            self.bytes_shipped += nbytes
+
+
+class TransportModule:
+    """Role-aware replication engine of one X-SSD device."""
+
+    def __init__(self, engine, cmb, name="transport",
+                 update_period_ns=400.0, policy=None):
+        self.engine = engine
+        self.cmb = cmb
+        self.name = name
+        self.role = TransportRole.STANDALONE
+        self.update_period_ns = update_period_ns
+        self.policy = policy or EagerReplication()
+        self.ntb_port = None
+        self._flows = {}  # peer name -> MirrorFlow
+        self.shadow_counters = {}  # peer name -> Counter
+        self._primary_port = None  # secondary: where counter updates go
+        self._primary_name = None
+        self._shadow_watchers = []
+        self._tap_installed = False
+        self._reporter_running = False
+        self.status_register = "ok"  # Section 7.1's transport status
+        self.counter_updates_sent = 0
+        self.counter_updates_received = 0
+        # Staleness detection: if a shadow counter lags the local counter
+        # while no update arrives for this long, the replication path is
+        # presumed broken and the status register flips to "stale".
+        self.staleness_threshold_ns = 1_000_000.0  # 1 ms
+        self._monitor_running = False
+
+    # -- role management (driven by vendor admin commands) -------------------------
+
+    def attach_ntb(self, port):
+        """Give the transport its network adapter; installs the receive sink."""
+        self.ntb_port = port
+        port.attach_sink(self._on_ntb_packet)
+
+    def attach_extra_port(self, port):
+        """Route an additional port's traffic into this transport.
+
+        Daisy-chained setups give a middle server two adapters: one toward
+        its predecessor, one toward its successor.
+        """
+        port.attach_sink(self._on_ntb_packet)
+        return port
+
+    def set_standalone(self):
+        self.role = TransportRole.STANDALONE
+        for flow in self._flows.values():
+            flow.running = False
+        self._flows.clear()
+        self.shadow_counters.clear()
+        self._reporter_running = False
+        return self.role
+
+    def set_primary(self):
+        if self.ntb_port is None:
+            raise RuntimeError("attach an NTB port before becoming primary")
+        self.role = TransportRole.PRIMARY
+        self._reporter_running = False
+        return self.role
+
+    def set_secondary(self, primary_name):
+        if self.ntb_port is None:
+            raise RuntimeError("attach an NTB port before becoming secondary")
+        self.role = TransportRole.SECONDARY
+        self._primary_name = primary_name
+        if not self._reporter_running:
+            self._reporter_running = True
+            self.engine.process(self._report_loop(),
+                                name=f"{self.name}-reporter")
+        return self.role
+
+    def start_staleness_monitor(self, check_period_ns=200_000.0):
+        """Background detection of stalled replication (Section 7.1).
+
+        When the database's data outruns a secondary's shadow counter and
+        no update arrives within the staleness threshold, the status
+        register flips to ``"stale"`` so pwrite/fsync implementations can
+        stop spinning on a counter that will never move and escalate to
+        reconfiguration instead.
+        """
+        if self._monitor_running:
+            raise RuntimeError("staleness monitor already running")
+        self._monitor_running = True
+        return self.engine.process(
+            self._staleness_monitor(check_period_ns),
+            name=f"{self.name}-staleness",
+        )
+
+    def stop_staleness_monitor(self):
+        self._monitor_running = False
+
+    def _staleness_monitor(self, check_period_ns):
+        while self._monitor_running:
+            yield self.engine.timeout(check_period_ns)
+            if self.role is not TransportRole.PRIMARY:
+                continue
+            local = self.cmb.credit.value
+            now = self.engine.now
+            stale = False
+            for counter in self.shadow_counters.values():
+                lagging = counter.value < local
+                quiet_for = now - counter.last_advanced_at
+                if lagging and quiet_for > self.staleness_threshold_ns:
+                    stale = True
+            self.status_register = "stale" if stale else "ok"
+
+    def add_peer(self, peer_name, port=None):
+        """Open a mirror flow toward ``peer_name`` (over ``port`` if given).
+
+        Primaries mirror to every peer; a *secondary* with a peer is a
+        chain intermediate — it forwards the stream it receives onward
+        (Section 4.2's chain-replication wiring).
+        """
+        if self.role is TransportRole.STANDALONE:
+            raise RuntimeError("standalone devices do not mirror to peers")
+        if peer_name in self._flows:
+            raise ValueError(f"peer {peer_name!r} already registered")
+        if not self._tap_installed:
+            self.cmb.tap_intake(self._on_local_write)
+            self._tap_installed = True
+        flow = MirrorFlow(self.engine, peer_name, port or self.ntb_port)
+        self._flows[peer_name] = flow
+        self.shadow_counters[peer_name] = Counter(
+            self.engine, name=f"shadow:{peer_name}"
+        )
+        self.engine.process(flow.pump(), name=f"mirror->{peer_name}")
+        return flow
+
+    def watch_shadow(self, callback):
+        """Register ``callback(peer_name, value)`` on shadow updates."""
+        self._shadow_watchers.append(callback)
+
+    # -- primary data path -----------------------------------------------------------
+
+    def _on_local_write(self, offset, nbytes, payload):
+        # Mirror whenever flows exist: a primary mirrors local writes,
+        # a chain intermediate mirrors the stream it receives (its CMB
+        # intake carries both cases — replication feeds the same intake).
+        for flow in self._flows.values():
+            flow.offer(offset, nbytes, payload)
+
+    # -- packet receive (both roles) ----------------------------------------------------
+
+    def _on_ntb_packet(self, tlp):
+        kind = tlp.metadata.get("kind")
+        if kind == "mirror":
+            # Secondary: feed the mirrored write into the local CMB.
+            self.cmb.receive_tlp(tlp)
+        elif kind == "counter-update":
+            peer = tlp.metadata["peer"]
+            value = tlp.metadata["value"]
+            self.counter_updates_received += 1
+            shadow = self.shadow_counters.get(peer)
+            if shadow is not None:
+                shadow.set_at_least(value)
+                for watcher in self._shadow_watchers:
+                    watcher(peer, shadow.value)
+        # Unknown kinds are ignored (forward compatibility).
+
+    # -- secondary reporting loop ---------------------------------------------------------
+
+    def _report_loop(self):
+        last_sent = self._report_value()  # nothing to say until it moves
+        while self._reporter_running:
+            yield self.engine.timeout(self.update_period_ns)
+            value = self._report_value()
+            if value == last_sent:
+                continue
+            last_sent = value
+            self.counter_updates_sent += 1
+            yield self.engine.timeout(COUNTER_UPDATE_COST_NS)
+            update = Tlp(
+                TlpType.MEMORY_WRITE,
+                address=0,
+                payload=COUNTER_UPDATE_BYTES,
+                metadata={
+                    "kind": "counter-update",
+                    "peer": self.name,
+                    "value": value,
+                },
+            )
+            yield self.ntb_port.send(update)
+
+    def _report_value(self):
+        """What this secondary reports upstream.
+
+        With a successor (chain topology) it relays the minimum of its own
+        progress and the successor's shadow — which converges to the
+        tail's counter, as chain replication requires.
+        """
+        own = self.cmb.credit.value
+        if self.shadow_counters:
+            successor = min(
+                counter.value for counter in self.shadow_counters.values()
+            )
+            return min(own, successor)
+        return own
+
+    # -- the database-visible counter -------------------------------------------------------
+
+    def visible_counter(self):
+        """The credit value the control interface exposes under the policy."""
+        shadows = {
+            name: counter.value
+            for name, counter in self.shadow_counters.items()
+        }
+        return self.policy.visible_counter(self.cmb.credit.value, shadows)

@@ -1,0 +1,55 @@
+"""In-memory tables: the database's working state.
+
+A table is a hash-indexed key/value store with last-committed visibility
+and per-transaction staging.  The concurrency model is deliberately simple
+(the storage stack, not the concurrency control, is this reproduction's
+subject): transactions stage writes privately and install them atomically
+at commit; write-write conflicts abort the later committer (first-committer
+-wins OCC).
+"""
+
+
+class Table:
+    """One relation: committed rows plus version stamps."""
+
+    def __init__(self, name):
+        self.name = name
+        self._rows = {}  # key -> value
+        self._versions = {}  # key -> commit LSN of the installed value
+        self.commits_applied = 0
+
+    def get(self, key):
+        """Last committed value for ``key``, or None."""
+        return self._rows.get(key)
+
+    def version_of(self, key):
+        """Commit LSN of the installed value (0 if never written)."""
+        return self._versions.get(key, 0)
+
+    def install(self, key, value, commit_lsn):
+        """Install a committed value (engine/recovery/replication use only)."""
+        if value is None:
+            self._rows.pop(key, None)
+            self._versions[key] = commit_lsn
+        else:
+            self._rows[key] = value
+            self._versions[key] = commit_lsn
+        self.commits_applied += 1
+
+    def scan(self):
+        """Iterate committed (key, value) pairs (stable snapshot copy)."""
+        return list(self._rows.items())
+
+    def __len__(self):
+        return len(self._rows)
+
+    def checksum(self):
+        """Order-independent digest of the committed state.
+
+        Used by tests to compare a recovered or replicated database with
+        the original without materializing sorted dumps.
+        """
+        total = 0
+        for key, value in self._rows.items():
+            total ^= hash((self.name, key, repr(value)))
+        return total

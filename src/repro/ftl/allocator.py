@@ -1,0 +1,125 @@
+"""Free-block allocation across the flash array.
+
+The allocator hands out erased blocks for writing and tracks each die's
+free pool.  Placement policy is channel-striping round-robin, which is what
+gives the device its parallelism: consecutive pages land on different
+channels so their cell phases overlap.
+"""
+
+
+class OutOfSpaceError(Exception):
+    """No erased block is available anywhere in the array."""
+
+
+class BlockCursor:
+    """An open block being filled page by page on one die."""
+
+    __slots__ = ("channel", "way", "block", "next_page")
+
+    def __init__(self, channel, way, block):
+        self.channel = channel
+        self.way = way
+        self.block = block
+        self.next_page = 0
+
+
+class BlockAllocator:
+    """Tracks free / open / full / bad blocks per die and places pages.
+
+    ``place()`` returns ``(channel, way, block, page)`` for the next write,
+    striping across channels then ways.  A block is returned to the free
+    pool by :meth:`release` after the GC erases it.
+    """
+
+    def __init__(self, geometry, reserved_blocks_per_die=1):
+        self.geometry = geometry
+        # Free-block lists per (channel, way); blocks are identified by index.
+        self._free = {
+            (channel, way): list(range(geometry.blocks_per_die))
+            for channel in range(geometry.channels)
+            for way in range(geometry.ways_per_channel)
+        }
+        self._bad = set()  # (channel, way, block)
+        self._cursors = {}  # (channel, way) -> BlockCursor
+        self._die_order = [
+            (channel, way)
+            for way in range(geometry.ways_per_channel)
+            for channel in range(geometry.channels)
+        ]
+        self._next_die = 0
+        # GC must always find a spare block to migrate into.
+        self.reserved_blocks_per_die = reserved_blocks_per_die
+
+    # -- placement ----------------------------------------------------------------
+
+    def place(self):
+        """Choose the physical page for the next write.
+
+        Returns ``(channel, way, block, page)``.  Raises
+        :class:`OutOfSpaceError` when every die is exhausted (the GC should
+        have run long before this).
+        """
+        for _ in range(len(self._die_order)):
+            die = self._die_order[self._next_die]
+            self._next_die = (self._next_die + 1) % len(self._die_order)
+            cursor = self._cursor_for(die)
+            if cursor is None:
+                continue
+            placement = (die[0], die[1], cursor.block, cursor.next_page)
+            cursor.next_page += 1
+            if cursor.next_page >= self.geometry.pages_per_block:
+                del self._cursors[die]
+            return placement
+        raise OutOfSpaceError("no erased blocks left on any die")
+
+    def _cursor_for(self, die):
+        cursor = self._cursors.get(die)
+        if cursor is not None:
+            return cursor
+        free = self._free[die]
+        while free:
+            block = free.pop(0)
+            if (die[0], die[1], block) in self._bad:
+                continue
+            cursor = BlockCursor(die[0], die[1], block)
+            self._cursors[die] = cursor
+            return cursor
+        return None
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def release(self, channel, way, block):
+        """Return an erased block to the free pool."""
+        if (channel, way, block) in self._bad:
+            return
+        self._free[(channel, way)].append(block)
+
+    def mark_bad(self, channel, way, block):
+        """Retire a block permanently (grown bad block)."""
+        self._bad.add((channel, way, block))
+        cursor = self._cursors.get((channel, way))
+        if cursor is not None and cursor.block == block:
+            del self._cursors[(channel, way)]
+
+    def abandon_open_block(self, channel, way):
+        """Drop the open cursor on a die (after a program failure)."""
+        self._cursors.pop((channel, way), None)
+
+    # -- introspection ---------------------------------------------------------------
+
+    def free_blocks(self, channel=None, way=None):
+        """Count of free (erased, not bad) blocks, optionally for one die."""
+        if channel is not None and way is not None:
+            return len(self._free[(channel, way)])
+        return sum(len(blocks) for blocks in self._free.values())
+
+    @property
+    def bad_blocks(self):
+        return set(self._bad)
+
+    def needs_gc(self):
+        """True when some die's free pool fell to the reserve threshold."""
+        return any(
+            len(blocks) <= self.reserved_blocks_per_die
+            for blocks in self._free.values()
+        )

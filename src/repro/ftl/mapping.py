@@ -1,0 +1,146 @@
+"""Page-level logical-to-physical mapping.
+
+``MappingTable`` is pure bookkeeping (dict-based, injective over live
+pages); ``PageMappingFtl`` combines it with the allocator and the channels
+to serve timed reads and writes, including program-failure handling
+(bad-block retirement and replacement, Section 7.1 of the paper).
+"""
+
+from repro.ftl.allocator import BlockAllocator
+from repro.nand.geometry import PhysicalPageAddress
+
+
+class MappingTable:
+    """LBA -> physical page map plus reverse map and per-block live counts."""
+
+    def __init__(self, geometry):
+        self.geometry = geometry
+        self._forward = {}  # lba -> PhysicalPageAddress
+        self._reverse = {}  # (channel, way, block, page) -> lba
+        self._live_per_block = {}  # (channel, way, block) -> live page count
+
+    def lookup(self, lba):
+        """Physical address of ``lba``, or None if never written."""
+        return self._forward.get(lba)
+
+    def bind(self, lba, address):
+        """Point ``lba`` at ``address``; the old page (if any) becomes dead."""
+        key = (address.channel, address.way, address.block, address.page)
+        if key in self._reverse:
+            raise ValueError(f"physical page {address} double-mapped")
+        self.unbind(lba)
+        self._forward[lba] = address
+        self._reverse[key] = lba
+        block_key = key[:3]
+        self._live_per_block[block_key] = self._live_per_block.get(block_key, 0) + 1
+
+    def unbind(self, lba):
+        """Invalidate the mapping of ``lba`` (on overwrite or trim)."""
+        old = self._forward.pop(lba, None)
+        if old is None:
+            return None
+        key = (old.channel, old.way, old.block, old.page)
+        del self._reverse[key]
+        block_key = key[:3]
+        self._live_per_block[block_key] -= 1
+        if not self._live_per_block[block_key]:
+            del self._live_per_block[block_key]
+        return old
+
+    def lba_of(self, address):
+        """The LBA currently living at ``address``, or None if dead/empty."""
+        return self._reverse.get(
+            (address.channel, address.way, address.block, address.page)
+        )
+
+    def live_pages_in(self, channel, way, block):
+        return self._live_per_block.get((channel, way, block), 0)
+
+    def live_lbas_in(self, channel, way, block):
+        """All live LBAs in one block (what GC must migrate)."""
+        return [
+            lba
+            for (ch, w, b, _page), lba in self._reverse.items()
+            if (ch, w, b) == (channel, way, block)
+        ]
+
+    def __len__(self):
+        return len(self._forward)
+
+
+class PageMappingFtl:
+    """The timed FTL: serves logical reads/writes over the channels.
+
+    ``write(lba, payload)`` and ``read(lba)`` return simulation events.
+    Program failures (from an optional
+    :class:`~repro.nand.ecc.ProgramFaultModel`) retire the block and retry
+    placement — the paper's internally handled destage-failure case.
+    """
+
+    def __init__(self, engine, channels, geometry, program_fault_model=None,
+                 reserved_blocks_per_die=1):
+        self.engine = engine
+        self.channels = channels
+        self.geometry = geometry
+        self.table = MappingTable(geometry)
+        self.allocator = BlockAllocator(
+            geometry, reserved_blocks_per_die=reserved_blocks_per_die
+        )
+        self.program_fault_model = program_fault_model
+        self.writes_served = 0
+        self.reads_served = 0
+        self.program_failures = 0
+        self._space_low_callbacks = []
+
+    def on_space_low(self, callback):
+        """Register ``callback()`` fired after a write leaves space low.
+
+        The garbage collector hooks this so it wakes exactly when needed
+        instead of polling on a timer.
+        """
+        self._space_low_callbacks.append(callback)
+
+    def write(self, lba, payload, nbytes=None):
+        """Persist ``payload`` at ``lba``; event value is the physical address."""
+        return self.engine.process(
+            self._write_proc(lba, payload, nbytes), name=f"ftl-write {lba}"
+        )
+
+    def read(self, lba):
+        """Read ``lba``; event value is the stored payload."""
+        return self.engine.process(self._read_proc(lba), name=f"ftl-read {lba}")
+
+    # -- internals ---------------------------------------------------------------
+
+    def _write_proc(self, lba, payload, nbytes):
+        while True:
+            channel_id, way, block, page = self.allocator.place()
+            fault = self.program_fault_model
+            if fault is not None and fault.should_fail(channel_id, way, block):
+                # Grown bad block: retire it, migrate nothing (pages already
+                # written there stay readable on real NAND until wear-out;
+                # we conservatively only stop placing new data there).
+                self.program_failures += 1
+                self.allocator.mark_bad(channel_id, way, block)
+                self.allocator.abandon_open_block(channel_id, way)
+                continue
+            yield self.channels[channel_id].program(
+                way, block, page, payload, nbytes
+            )
+            address = PhysicalPageAddress(channel_id, way, block, page)
+            self.table.bind(lba, address)
+            self.writes_served += 1
+            if self._space_low_callbacks and self.allocator.needs_gc():
+                for callback in self._space_low_callbacks:
+                    callback()
+            return address
+
+    def _read_proc(self, lba):
+        address = self.table.lookup(lba)
+        if address is None:
+            raise KeyError(f"lba {lba} was never written")
+        page = yield self.channels[address.channel].read(
+            address.way, address.block, address.page
+        )
+        self.reads_served += 1
+        return page.payload

@@ -1,0 +1,34 @@
+"""Host-side APIs: the drop-in call replacements and baseline log paths.
+
+Section 5 of the paper: the database talks to a Villars device through
+
+* :mod:`repro.host.api` — ``x_pwrite`` / ``x_fsync`` / ``x_pread``,
+  user-space drop-in replacements for the familiar syscalls (no context
+  switch, credit-based blocking);
+* :mod:`repro.host.alloc` — the advanced allocator-style API
+  (``x_alloc`` / ``x_free``) that exposes the fast side as memory;
+* :mod:`repro.host.baselines` — the comparison paths of the evaluation:
+  logging to the conventional NVMe side, to host NVDIMM, to nothing
+  (No-Log), and the host-managed PM + RDMA replication pipeline of
+  Fig. 1 (left).
+"""
+
+from repro.host.alloc import CmbAllocator, CmbRegionHandle
+from repro.host.api import ReplicationStalled, XssdLogFile
+from repro.host.baselines import (
+    HostPmRdmaLogFile,
+    NoLogFile,
+    NvdimmLogFile,
+    NvmeLogFile,
+)
+
+__all__ = [
+    "XssdLogFile",
+    "ReplicationStalled",
+    "CmbAllocator",
+    "CmbRegionHandle",
+    "NvmeLogFile",
+    "NvdimmLogFile",
+    "NoLogFile",
+    "HostPmRdmaLogFile",
+]

@@ -1,0 +1,91 @@
+"""The advanced API: exposing the fast side as allocatable memory.
+
+Section 5.2 of the paper sketches an allocator-style interface on top of
+the CMB ring: ``x_alloc`` hands out an area at the ring's tail that a
+worker thread may fill in any order; the area stays *active* (not
+destage-able past it) until ``x_free`` declares it complete.  Parallel log
+writers use this to fill transaction log buffers concurrently — the
+scalable-logging pattern (Aether-style) the paper cites.
+
+The ring's contiguity machinery already provides the destage criterion:
+data destages only up to the contiguous frontier, and the frontier cannot
+pass a region whose bytes have not all arrived.  ``x_free`` validates that
+the caller actually filled its region.
+"""
+
+
+class CmbRegionHandle:
+    """One allocated, independently fillable area of the CMB stream."""
+
+    __slots__ = ("allocator", "offset", "nbytes", "filled", "freed")
+
+    def __init__(self, allocator, offset, nbytes):
+        self.allocator = allocator
+        self.offset = offset
+        self.nbytes = nbytes
+        self.filled = 0
+        self.freed = False
+
+    def write(self, region_offset, nbytes, payload=None):
+        """Fill ``nbytes`` at ``region_offset`` within this region.
+
+        Returns the device's issue event.  Sub-writes may arrive in any
+        order; each byte may be written exactly once.
+        """
+        if self.freed:
+            raise ValueError("region already freed")
+        if region_offset < 0 or region_offset + nbytes > self.nbytes:
+            raise ValueError(
+                f"write [{region_offset}, {region_offset + nbytes}) outside "
+                f"region of {self.nbytes} bytes"
+            )
+        self.filled += nbytes
+        return self.allocator.device.fast_write(
+            self.offset + region_offset, nbytes, payload
+        )
+
+    @property
+    def is_full(self):
+        return self.filled >= self.nbytes
+
+
+class CmbAllocator:
+    """Sequential allocator over the device's CMB stream."""
+
+    def __init__(self, device):
+        self.device = device
+        self.engine = device.engine
+        self.active_regions = 0
+        self.allocations = 0
+
+    def x_alloc(self, nbytes):
+        """Reserve the next ``nbytes`` of the stream for one writer.
+
+        The range is claimed from the device's single stream-allocation
+        point, so allocator regions coexist with other writers (drop-in
+        log handles, multi-writer lanes) on the same device.
+        """
+        if nbytes <= 0:
+            raise ValueError("allocation must be positive")
+        offset = self.device.claim_stream_range(nbytes)
+        handle = CmbRegionHandle(self, offset, nbytes)
+        self.active_regions += 1
+        self.allocations += 1
+        return handle
+
+    def x_free(self, handle):
+        """Declare ``handle`` complete; flushes the WC buffer toward it.
+
+        Raises if the region was not fully written — freeing a hole would
+        permanently stall the destage frontier behind it.
+        """
+        if handle.freed:
+            raise ValueError("double free of a CMB region")
+        if not handle.is_full:
+            raise ValueError(
+                f"region freed with {handle.nbytes - handle.filled} "
+                f"unwritten bytes"
+            )
+        handle.freed = True
+        self.active_regions -= 1
+        return self.device.fast_fence()

@@ -1,0 +1,107 @@
+"""The flash channel: a shared bus in front of the dies on one channel.
+
+Data phases (moving page bytes to or from a die) serialize on the channel
+bus; cell phases (tPROG, tR, tBERS) run inside the die and overlap with
+other dies' bus activity.  This split is what creates the scheduling
+"gaps" that opportunistic destaging exploits (Section 4.3): while one
+die's cells are busy programming, the bus is free to feed another die.
+"""
+
+from repro.nand.flash_array import FlashDie
+from repro.sim.resources import BandwidthPipe
+
+
+class Channel:
+    """One channel: its bus plus the dies (ways) hanging off it.
+
+    All operations follow the same acquire-die / bus-transfer / cell-time /
+    release protocol and return an event carrying the operation result.
+    An optional read ``fault_model`` (see :mod:`repro.nand.ecc`) can fail
+    reads with uncorrectable errors.
+    """
+
+    def __init__(self, engine, geometry, timing, channel_id, fault_model=None):
+        self.engine = engine
+        self.geometry = geometry
+        self.timing = timing
+        self.channel_id = channel_id
+        self.fault_model = fault_model
+        self.dies = [
+            FlashDie(engine, geometry, timing, channel_id, way)
+            for way in range(geometry.ways_per_channel)
+        ]
+        self.bus = BandwidthPipe(
+            engine, timing.bus_bandwidth, name=f"ch{channel_id}.bus"
+        )
+
+    def die(self, way):
+        return self.dies[way]
+
+    # -- operations ---------------------------------------------------------
+
+    def program(self, way, block, page, payload, nbytes=None):
+        """Program one page; event value is the physical (block, page)."""
+        if nbytes is None:
+            nbytes = self.geometry.page_bytes
+        return self.engine.process(
+            self._program_proc(way, block, page, payload, nbytes),
+            name=f"prog ch{self.channel_id} w{way}",
+        )
+
+    def read(self, way, block, page):
+        """Read one page; event value is the :class:`Page`."""
+        return self.engine.process(
+            self._read_proc(way, block, page),
+            name=f"read ch{self.channel_id} w{way}",
+        )
+
+    def erase(self, way, block):
+        """Erase one block; event value is None."""
+        return self.engine.process(
+            self._erase_proc(way, block),
+            name=f"erase ch{self.channel_id} w{way}",
+        )
+
+    # -- protocol -----------------------------------------------------------
+
+    def _program_proc(self, way, block, page, payload, nbytes):
+        die = self.dies[way]
+        yield die.busy.request()
+        try:
+            # Data phase first (bus), then the cell program (die-internal).
+            yield self.bus.transfer(nbytes)
+            die.program_page(block, page, payload, nbytes)
+            yield self.engine.timeout(self.timing.t_program)
+        finally:
+            die.busy.release()
+        return (block, page)
+
+    def _read_proc(self, way, block, page):
+        die = self.dies[way]
+        yield die.busy.request()
+        try:
+            # Cell read first, then the data phase moves bytes out.
+            yield self.engine.timeout(self.timing.t_read)
+            if self.fault_model is not None:
+                self.fault_model.check_read(self.channel_id, way, block, page)
+            result = die.read_page(block, page)
+            yield self.bus.transfer(result.nbytes or self.geometry.page_bytes)
+        finally:
+            die.busy.release()
+        return result
+
+    def _erase_proc(self, way, block):
+        die = self.dies[way]
+        yield die.busy.request()
+        try:
+            die.erase_block(block)
+            yield self.engine.timeout(self.timing.t_erase)
+        finally:
+            die.busy.release()
+        return None
+
+    # -- introspection -------------------------------------------------------
+
+    def idle_ways(self):
+        """Ways with no operation running or queued (scheduling gaps)."""
+        return [way for way, die in enumerate(self.dies) if die.is_idle]

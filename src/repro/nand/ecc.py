@@ -1,0 +1,76 @@
+"""Error model: bit errors, ECC correction, and bad-block genesis.
+
+The Villars paper handles flash faults in the conventional way (Section
+7.1): a failed destage program means a bad block, handled internally by
+picking a new block.  This module provides the fault injector the tests
+and ablations use to exercise those paths deterministically.
+"""
+
+from repro.nand.errors import UncorrectableError
+from repro.sim.rng import derive
+
+
+class EccFaultModel:
+    """Probabilistic read-error injector with deterministic seeding.
+
+    ``raw_bit_error_rate`` maps to a per-read probability that the codeword
+    exceeds the ECC's correction budget.  Real devices see RBERs around
+    1e-7..1e-4 depending on wear; for fault-injection tests we crank the
+    probability up instead of simulating trillions of reads.
+    """
+
+    def __init__(self, seed=0, uncorrectable_probability=0.0):
+        if not 0.0 <= uncorrectable_probability <= 1.0:
+            raise ValueError("probability outside [0, 1]")
+        self.probability = uncorrectable_probability
+        self._rng = derive(seed, "ecc")
+        self.reads_checked = 0
+        self.errors_raised = 0
+        self._forced = set()
+
+    def force_error_at(self, channel, way, block, page):
+        """Make the next read of this exact page fail (deterministic tests)."""
+        self._forced.add((channel, way, block, page))
+
+    def check_read(self, channel, way, block, page):
+        """Called by the channel on every read's cell phase."""
+        self.reads_checked += 1
+        key = (channel, way, block, page)
+        if key in self._forced:
+            self._forced.discard(key)
+            self.errors_raised += 1
+            raise UncorrectableError(f"forced error at {key}")
+        if self.probability and self._rng.random() < self.probability:
+            self.errors_raised += 1
+            raise UncorrectableError(f"uncorrectable read at {key}")
+
+
+class ProgramFaultModel:
+    """Injects program (write) failures so bad-block handling can be tested.
+
+    The firmware consults :meth:`should_fail` before committing a program;
+    a failure marks the block bad and the firmware must re-place the data —
+    the destage-failure scenario of Section 7.1.
+    """
+
+    def __init__(self, seed=0, failure_probability=0.0):
+        if not 0.0 <= failure_probability <= 1.0:
+            raise ValueError("probability outside [0, 1]")
+        self.probability = failure_probability
+        self._rng = derive(seed, "program-fault")
+        self._forced = set()
+        self.failures = 0
+
+    def force_failure_at(self, channel, way, block):
+        self._forced.add((channel, way, block))
+
+    def should_fail(self, channel, way, block):
+        key = (channel, way, block)
+        if key in self._forced:
+            self._forced.discard(key)
+            self.failures += 1
+            return True
+        if self.probability and self._rng.random() < self.probability:
+            self.failures += 1
+            return True
+        return False

@@ -1,0 +1,122 @@
+"""Flash dies, blocks, and pages: state, constraints, and busy tracking.
+
+A :class:`FlashDie` is the unit of operation exclusivity — one program,
+read, or erase at a time.  Blocks enforce erase-before-program and in-order
+page programming.  Page contents are arbitrary Python payloads plus a byte
+count: the simulator tracks data identity for correctness checks (FTL,
+recovery) without materializing real 16 KiB buffers.
+"""
+
+from repro.nand.errors import (
+    BadBlockError,
+    ProgramOrderError,
+    WriteWithoutEraseError,
+)
+from repro.sim.resources import Resource
+
+
+class Page:
+    """One flash page: either erased, or holding a payload."""
+
+    __slots__ = ("payload", "nbytes", "programmed")
+
+    def __init__(self):
+        self.payload = None
+        self.nbytes = 0
+        self.programmed = False
+
+    def program(self, payload, nbytes):
+        if self.programmed:
+            raise WriteWithoutEraseError("page already programmed")
+        self.payload = payload
+        self.nbytes = nbytes
+        self.programmed = True
+
+    def erase(self):
+        self.payload = None
+        self.nbytes = 0
+        self.programmed = False
+
+
+class Block:
+    """A block of pages with NAND programming constraints."""
+
+    def __init__(self, pages_per_block):
+        self.pages = [Page() for _ in range(pages_per_block)]
+        self.next_page = 0  # NAND requires ascending program order
+        self.erase_count = 0
+        self.is_bad = False
+
+    def mark_bad(self):
+        self.is_bad = True
+
+    def program(self, page_number, payload, nbytes):
+        if self.is_bad:
+            raise BadBlockError("block is marked bad")
+        if page_number != self.next_page:
+            raise ProgramOrderError(
+                f"page {page_number} programmed out of order "
+                f"(expected {self.next_page})"
+            )
+        self.pages[page_number].program(payload, nbytes)
+        self.next_page += 1
+
+    def read(self, page_number):
+        if self.is_bad:
+            raise BadBlockError("block is marked bad")
+        return self.pages[page_number]
+
+    def erase(self):
+        if self.is_bad:
+            raise BadBlockError("block is marked bad")
+        for page in self.pages:
+            page.erase()
+        self.next_page = 0
+        self.erase_count += 1
+
+    @property
+    def is_full(self):
+        return self.next_page >= len(self.pages)
+
+
+class FlashDie:
+    """One die: a set of blocks plus a single-operation busy resource.
+
+    The storage controller acquires the die, waits the operation's latency
+    (plus bus transfer time for the data phase), then releases.  The
+    acquire/operate/release protocol lives in :class:`~repro.nand.channel.Channel`
+    so scheduling policy stays out of the die model.
+    """
+
+    def __init__(self, engine, geometry, timing, channel_id, way_id):
+        self.engine = engine
+        self.geometry = geometry
+        self.timing = timing
+        self.channel_id = channel_id
+        self.way_id = way_id
+        self.blocks = [
+            Block(geometry.pages_per_block)
+            for _ in range(geometry.blocks_per_die)
+        ]
+        self.busy = Resource(engine, capacity=1)
+        self.programs = 0
+        self.reads = 0
+        self.erases = 0
+
+    @property
+    def is_idle(self):
+        """True when no operation holds the die and none is queued."""
+        return self.busy.in_use == 0 and self.busy.queue_length == 0
+
+    def program_page(self, block, page, payload, nbytes):
+        """State change only; timing is applied by the channel."""
+        self.blocks[block].program(page, payload, nbytes)
+        self.programs += 1
+
+    def read_page(self, block, page):
+        self.reads += 1
+        return self.blocks[block].read(page)
+
+    def erase_block(self, block):
+        self.blocks[block].erase()
+        self.erases += 1

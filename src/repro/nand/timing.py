@@ -1,0 +1,45 @@
+"""NAND operation timings.
+
+The numbers default to the MLC-class NAND the Cosmos+ platform carries:
+program latency in the several-hundred-microsecond range, reads around
+70 us, block erases in milliseconds, and an NV-DDR channel bus around
+400 MB/s.  The simulation's conclusions depend on the *orders of
+magnitude* — flash programs are ~1000x slower than PM stores — and these
+are faithful.
+"""
+
+from dataclasses import dataclass
+
+from repro.sim.units import MICROS, MILLIS
+
+
+@dataclass(frozen=True)
+class NandTiming:
+    """Latency and bus parameters for one flash generation."""
+
+    t_program: float = 600 * MICROS
+    t_read: float = 70 * MICROS
+    t_erase: float = 3 * MILLIS
+    bus_bandwidth: float = 0.4  # bytes/ns == GB/s, NV-DDR2-class
+
+    def __post_init__(self):
+        if min(self.t_program, self.t_read, self.t_erase) <= 0:
+            raise ValueError("NAND latencies must be positive")
+        if self.bus_bandwidth <= 0:
+            raise ValueError("bus bandwidth must be positive")
+
+    def transfer_time(self, nbytes):
+        """Time to move ``nbytes`` over the channel bus."""
+        return nbytes / self.bus_bandwidth
+
+
+#: Cosmos+ OpenSSD defaults used by the Villars reference configuration.
+COSMOS_PLUS = NandTiming()
+
+#: A faster SLC-like part, useful in ablations.
+FAST_SLC = NandTiming(
+    t_program=200 * MICROS,
+    t_read=25 * MICROS,
+    t_erase=1.5 * MILLIS,
+    bus_bandwidth=0.8,
+)

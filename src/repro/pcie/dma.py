@@ -1,0 +1,72 @@
+"""The device-side DMA engine.
+
+When the HIC fetches an NVMe write command it uses DMA to pull the payload
+from host memory into the device's data buffer (Section 2.2, "The Life of a
+Log Write").  A DMA burst is a stream of read-request/completion exchanges;
+we model it as one request round plus the payload streaming back on the
+upstream direction, split into Max-Payload-sized completions.
+"""
+
+from repro.pcie.tlp import DEFAULT_MAX_PAYLOAD, Tlp, TlpType
+
+
+class DmaEngine:
+    """Moves bulk data between host memory and the device over the link."""
+
+    def __init__(self, engine, link, max_payload=DEFAULT_MAX_PAYLOAD):
+        self.engine = engine
+        self.link = link
+        self.max_payload = max_payload
+        self.bytes_pulled = 0
+        self.bytes_pushed = 0
+
+    def pull(self, size):
+        """Host memory -> device, ``size`` bytes (NVMe write payload).
+
+        Read requests travel downstream... no: the *device* issues the read
+        requests upstream toward host memory, and completions with data come
+        back downstream.  Returns an event firing when the last completion
+        arrives at the device.
+        """
+        if size < 0:
+            raise ValueError("cannot DMA a negative size")
+        self.bytes_pulled += size
+        request = Tlp(TlpType.MEMORY_READ, address=0, payload=0)
+        done = self.engine.event()
+
+        def _after_request(_event):
+            last = None
+            offset = 0
+            while offset < size:
+                chunk = min(self.max_payload, size - offset)
+                completion = Tlp(TlpType.COMPLETION, address=0, payload=chunk)
+                last = self.link.send(completion)
+                offset += chunk
+            if last is None:
+                done.succeed(0)
+            else:
+                last.then(lambda event: done.succeed(size))
+
+        self.link.receive(request).then(_after_request)
+        return done
+
+    def push(self, size):
+        """Device -> host memory, ``size`` bytes (NVMe read payload).
+
+        Posted memory writes upstream; event fires when the last lands.
+        """
+        if size < 0:
+            raise ValueError("cannot DMA a negative size")
+        self.bytes_pushed += size
+        last = None
+        offset = 0
+        while offset < size:
+            chunk = min(self.max_payload, size - offset)
+            write = Tlp(TlpType.MEMORY_WRITE, address=0, payload=chunk)
+            last = self.link.receive(write)
+            offset += chunk
+        if last is None:
+            return self.engine.timeout(0.0, value=0)
+        done = self.engine.event()
+        last.then(lambda _event: done.succeed(size))
+        return done

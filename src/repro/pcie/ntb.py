@@ -1,0 +1,157 @@
+"""Non-Transparent Bridging: PCIe as the inter-server network.
+
+NTB connects two hosts' PCIe domains through an adapter that translates
+addresses and forwards TLPs (Section 2.3).  Unlike Ethernet or InfiniBand
+there is no protocol conversion — a TLP goes in, a TLP comes out — which is
+why the paper picked it for the Transport module: the device already speaks
+TLPs, so bridging costs only address translation plus the cable.
+
+The model: an :class:`NtbBridge` joins two :class:`NtbPort` endpoints.  Each
+direction is a finite-bandwidth pipe with a per-hop translation latency.
+Daisy-chaining (the Dolphin PXH830 setup of the experiments) composes
+bridges; a forwarded packet pays each hop it crosses.
+"""
+
+from repro.sim.resources import BandwidthPipe
+from repro.pcie.tlp import Tlp
+
+# Dolphin PXH830-class adapters: x8 Gen3 cable ~= 7.9 GB/s; we expose a
+# conservative usable figure.
+DEFAULT_NTB_BANDWIDTH = 7.0  # bytes/ns == GB/s
+
+# One-way latency of an NTB hop (address translation + cable + switch).
+# Measured sub-microsecond figures appear in the device-lending literature
+# cited by the paper ([43], [52]); 700 ns is representative.
+DEFAULT_NTB_HOP_NS = 700.0
+
+
+class NtbPort:
+    """One endpoint of an NTB connection, owned by a device or host.
+
+    A port delivers arriving TLPs to its registered sink.  The address the
+    peer writes to is translated by the bridge before delivery, so sinks
+    see addresses in their local domain.
+    """
+
+    def __init__(self, engine, name):
+        self.engine = engine
+        self.name = name
+        self._sink = None
+        self._bridge = None
+        self.tlps_received = 0
+        self.bytes_received = 0
+
+    def attach_sink(self, callback):
+        """Register ``callback(tlp)`` for packets arriving at this port."""
+        self._sink = callback
+
+    def send(self, tlp):
+        """Forward ``tlp`` to the peer port; event fires on delivery there."""
+        if self._bridge is None:
+            raise RuntimeError(f"NTB port {self.name!r} is not connected")
+        return self._bridge.forward(self, tlp)
+
+    def _deliver(self, tlp):
+        self.tlps_received += 1
+        self.bytes_received += tlp.payload
+        if self._sink is not None:
+            self._sink(tlp)
+
+
+class NtbBridge:
+    """A point-to-point non-transparent bridge between two ports.
+
+    ``translate`` optionally rewrites addresses between the domains
+    (identity by default — the simulator's rings use region-relative
+    offsets, so translation is a latency cost, not an arithmetic one).
+    """
+
+    def __init__(self, engine, port_a, port_b,
+                 bandwidth=DEFAULT_NTB_BANDWIDTH, hop_latency=DEFAULT_NTB_HOP_NS):
+        self.engine = engine
+        self.port_a = port_a
+        self.port_b = port_b
+        port_a._bridge = self
+        port_b._bridge = self
+        self._pipes = {
+            id(port_a): BandwidthPipe(
+                engine, bandwidth, latency=hop_latency,
+                name=f"ntb:{port_a.name}->{port_b.name}",
+            ),
+            id(port_b): BandwidthPipe(
+                engine, bandwidth, latency=hop_latency,
+                name=f"ntb:{port_b.name}->{port_a.name}",
+            ),
+        }
+        self.hop_latency = hop_latency
+        # Fault injection: a severed cable silently drops TLPs (posted
+        # writes have no acknowledgement), which is exactly the failure
+        # the transport's status register must surface (Section 7.1).
+        self.link_up = True
+        self.tlps_dropped = 0
+
+    def sever(self):
+        """Cut the cable: subsequent packets vanish without error."""
+        self.link_up = False
+
+    def restore(self):
+        self.link_up = True
+
+    def peer_of(self, port):
+        if port is self.port_a:
+            return self.port_b
+        if port is self.port_b:
+            return self.port_a
+        raise ValueError("port does not belong to this bridge")
+
+    def forward(self, source_port, tlp):
+        """Carry ``tlp`` from ``source_port`` to its peer.
+
+        On a severed link the packet is silently dropped: the returned
+        event still fires (posted writes complete locally regardless),
+        but nothing arrives at the peer.
+        """
+        if not isinstance(tlp, Tlp):
+            raise TypeError(f"expected a Tlp, got {type(tlp).__name__}")
+        peer = self.peer_of(source_port)
+        pipe = self._pipes[id(source_port)]
+        done = pipe.transfer(tlp.wire_size)
+        delivery = self.engine.event()
+
+        def _arrived(_event):
+            if self.link_up:
+                peer._deliver(tlp)
+            else:
+                self.tlps_dropped += 1
+            delivery.succeed(tlp)
+
+        done.then(_arrived)
+        return delivery
+
+    def pipe_from(self, port):
+        """The directional pipe carrying traffic *out of* ``port``.
+
+        Exposed so experiments can measure bandwidth consumed by counter
+        updates (Fig. 13's right axis).
+        """
+        return self._pipes[id(port)]
+
+
+def daisy_chain(engine, ports, bandwidth=DEFAULT_NTB_BANDWIDTH,
+                hop_latency=DEFAULT_NTB_HOP_NS):
+    """Wire ``ports`` pairwise into a chain of bridges; returns the bridges.
+
+    The paper's three-server testbed daisy-chains its Dolphin adapters; a
+    packet from server 0 to server 2 pays two hops.  Routing across hops is
+    the caller's job (the cluster layer resends at each hop), matching how
+    the Transport module creates one mirror flow per secondary.
+    """
+    if len(ports) < 2:
+        raise ValueError("a chain needs at least two ports")
+    bridges = []
+    for left, right in zip(ports, ports[1:]):
+        bridges.append(
+            NtbBridge(engine, left, right, bandwidth=bandwidth,
+                      hop_latency=hop_latency)
+        )
+    return bridges

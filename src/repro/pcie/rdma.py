@@ -1,0 +1,122 @@
+"""RDMA NIC model — the network the *baseline* designs use.
+
+The paper's Fig. 1 (left) baseline ships log records to remote PM with
+RDMA writes (Query-Fresh / Active-Memory style).  We model a RoCE NIC at
+the verbs level: queue pairs, posted work requests, completion polling.
+
+Two properties matter for the comparison with the X-SSD path:
+
+* latency/bandwidth of a one-sided write (ConnectX-5 class: ~2 us one-way
+  for small messages, ~11 GB/s per port), and
+* the **persistence caveat** (Section 8.2, [37]): completion of an RDMA
+  write means the data is *visible* at the remote NIC, not that it is
+  *persistent* — DDIO may park it in the remote CPU's cache.  The model
+  carries a ``persistent_on_completion`` flag; when false, an extra
+  flush round-trip is required for durability, which the host-PM baseline
+  must pay (or risk losing data on a crash — the problem the paper calls
+  out).
+"""
+
+from repro.sim.resources import BandwidthPipe
+from repro.pcie.tlp import TLP_OVERHEAD_BYTES
+
+# ConnectX-5 class figures.
+DEFAULT_RDMA_BANDWIDTH = 11.0  # bytes/ns
+DEFAULT_RDMA_LATENCY_NS = 2_000.0  # one-way small-message latency
+# RoCEv2 per-message header cost (Eth + IP + UDP + BTH + iCRC).
+RDMA_HEADER_BYTES = 66
+# NIC doorbell + WQE fetch cost on the posting side.
+POST_OVERHEAD_NS = 300.0
+
+
+class RdmaNic:
+    """One RDMA-capable NIC attached to a host."""
+
+    def __init__(self, engine, name, bandwidth=DEFAULT_RDMA_BANDWIDTH,
+                 latency=DEFAULT_RDMA_LATENCY_NS):
+        self.engine = engine
+        self.name = name
+        self.tx_pipe = BandwidthPipe(
+            engine, bandwidth, latency=latency, name=f"{name}.tx"
+        )
+        self.bytes_sent = 0
+
+    def connect(self, remote_nic, persistent_on_completion=False):
+        """Create a queue pair to ``remote_nic``."""
+        return RdmaQueuePair(self, remote_nic, persistent_on_completion)
+
+
+class RdmaQueuePair:
+    """A reliable-connected QP between two NICs.
+
+    ``post_write(size)`` returns an event that fires when the local NIC
+    would generate the work completion.  If ``persistent_on_completion``
+    is false, durability additionally requires :meth:`flush_remote`.
+    """
+
+    def __init__(self, local_nic, remote_nic, persistent_on_completion):
+        self.local = local_nic
+        self.remote = remote_nic
+        self.engine = local_nic.engine
+        self.persistent_on_completion = persistent_on_completion
+        self.writes_posted = 0
+        self.flushes = 0
+        self._receive_callbacks = []
+
+    def on_receive(self, callback):
+        """Register ``callback(size)`` run when a write lands remotely."""
+        self._receive_callbacks.append(callback)
+
+    def post_write(self, size):
+        """One-sided RDMA write of ``size`` bytes to the remote host."""
+        if size < 0:
+            raise ValueError("cannot post a negative-size write")
+        self.writes_posted += 1
+        self.local.bytes_sent += size
+        wire = size + RDMA_HEADER_BYTES
+        done = self.engine.event()
+
+        def _start(_event):
+            arrived = self.local.tx_pipe.transfer(wire)
+
+            def _landed(event):
+                for callback in self._receive_callbacks:
+                    callback(size)
+                done.succeed(size)
+
+            arrived.then(_landed)
+
+        self.engine.timeout(POST_OVERHEAD_NS).then(_start)
+        return done
+
+    def flush_remote(self):
+        """Force remote persistence (read-after-write or RDMA flush).
+
+        Implemented as a zero-byte read round trip: one header-only message
+        out, one back — the standard 'RDMA read as flush' idiom.  Costs a
+        full network RTT.
+        """
+        self.flushes += 1
+        done = self.engine.event()
+        out = self.local.tx_pipe.transfer(RDMA_HEADER_BYTES)
+
+        def _turnaround(_event):
+            back = self.remote.tx_pipe.transfer(RDMA_HEADER_BYTES + TLP_OVERHEAD_BYTES)
+            back.then(lambda event: done.succeed())
+
+        out.then(_turnaround)
+        return done
+
+    def durable_write(self, size):
+        """Write and make durable, honoring the persistence caveat."""
+        done = self.engine.event()
+        write_done = self.post_write(size)
+
+        def _after_write(_event):
+            if self.persistent_on_completion:
+                done.succeed(size)
+            else:
+                self.flush_remote().then(lambda _ev: done.succeed(size))
+
+        write_done.then(_after_write)
+        return done

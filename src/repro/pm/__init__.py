@@ -1,0 +1,25 @@
+"""Persistent-memory models: CMB backing memories and host NVDIMM.
+
+Two places in the reproduced system contain PM:
+
+* inside the device, backing the CMB ring (SRAM from FPGA BlockRAM at
+  4 GB/s, or DRAM from the shared data-buffer pool at 2 GB/s effective) —
+  Section 6, "Implementation and Environment Details";
+* on the host, as NVDIMM, for the paper's "Memory" baseline where the
+  database logs straight into battery-backed DIMMs.
+
+Persistence semantics: both models are persistent by assumption (battery /
+supercapacitor backing), matching the paper's experimental setup.  The
+crash machinery in :mod:`repro.core.crash` decides what survives a power
+loss — these classes just provide timing and capacity.
+"""
+
+from repro.pm.backing import BackingMemory, dram_backing, sram_backing
+from repro.pm.nvdimm import Nvdimm
+
+__all__ = [
+    "BackingMemory",
+    "sram_backing",
+    "dram_backing",
+    "Nvdimm",
+]

@@ -1,0 +1,54 @@
+"""Host-attached NVDIMM: the paper's "Memory" logging baseline.
+
+In this configuration the database writes log records straight into
+battery-backed DIMMs on the host memory bus (as ERMIA does, Section 6).
+A persisted write costs the store stream plus a cache-line flush + fence;
+there is no PCIe, no syscall, no device — it is the latency floor all
+other methods are measured against.
+"""
+
+from repro.sim.resources import BandwidthPipe
+
+# DDR4-class write bandwidth for one DIMM channel, bytes/ns.
+DEFAULT_NVDIMM_BANDWIDTH = 10.0
+# CLWB/CLFLUSHOPT + SFENCE cost per persisted write burst.
+DEFAULT_FLUSH_NS = 150.0
+
+
+class Nvdimm:
+    """Battery-backed host DIMM with load/store persistence."""
+
+    def __init__(self, engine, capacity, bandwidth=DEFAULT_NVDIMM_BANDWIDTH,
+                 flush_ns=DEFAULT_FLUSH_NS):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.engine = engine
+        self.capacity = capacity
+        self.flush_ns = flush_ns
+        self.port = BandwidthPipe(engine, bandwidth, name="nvdimm.port")
+        self.bytes_written = 0
+
+    def persist(self, nbytes):
+        """Store ``nbytes`` and flush to the durability domain.
+
+        Event fires when the data is guaranteed durable (post-fence).
+        """
+        if nbytes < 0:
+            raise ValueError("cannot persist a negative size")
+        self.bytes_written += nbytes
+        done = self.engine.event()
+        stored = self.port.transfer(nbytes)
+
+        def _flush(_event):
+            self.engine.timeout(self.flush_ns).then(
+                lambda _ev: done.succeed(nbytes)
+            )
+
+        stored.then(_flush)
+        return done
+
+    def read(self, nbytes):
+        """Load ``nbytes`` back (the destage read path of Fig. 1 left)."""
+        if nbytes < 0:
+            raise ValueError("cannot read a negative size")
+        return self.port.transfer(nbytes)

@@ -1,0 +1,275 @@
+"""The discrete-event engine: clock, event heap, and generator processes.
+
+The programming model follows the classic process-interaction style.  A
+*process* is a generator that yields :class:`Event` objects; the engine
+suspends the generator until the event triggers, then resumes it with the
+event's value.  Example::
+
+    def writer(engine, device):
+        yield engine.timeout(100.0)           # wait 100 ns
+        done = device.write(b"log record")    # returns an Event
+        yield done                            # wait for the device
+        print("persisted at", engine.now)
+
+    engine = Engine()
+    engine.process(writer(engine, device))
+    engine.run()
+"""
+
+import heapq
+from itertools import count
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (not for modeled faults)."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event goes through at most one transition: *pending* -> *triggered*.
+    Once triggered it carries a ``value`` (or an exception to re-raise in
+    waiters) and invokes its callbacks in registration order.
+    """
+
+    __slots__ = (
+        "engine",
+        "callbacks",
+        "_value",
+        "_exception",
+        "triggered",
+        "_processed",
+    )
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.callbacks = []
+        self._value = None
+        self._exception = None
+        self.triggered = False
+        # True once the engine has popped the event and run its callbacks;
+        # a `then()` registered after that point runs at the current instant.
+        self._processed = False
+
+    @property
+    def value(self):
+        if not self.triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value=None):
+        """Trigger the event immediately with ``value``."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self._value = value
+        self.engine._push_triggered(self)
+        return self
+
+    def fail(self, exception):
+        """Trigger the event with an exception to re-raise in waiters."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self.triggered = True
+        self._exception = exception
+        self.engine._push_triggered(self)
+        return self
+
+    def then(self, callback):
+        """Register ``callback(event)`` to run when the event triggers."""
+        if self._processed:
+            # Callbacks already ran: run this one at the current instant via
+            # the heap so ordering relative to same-time callbacks stays FIFO.
+            holder = Event(self.engine)
+            holder.callbacks.append(lambda _ev: callback(self))
+            holder.succeed()
+        else:
+            self.callbacks.append(callback)
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` nanoseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine, delay, value=None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        self.triggered = True
+        self._value = value
+        engine._push_at(engine.now + delay, self)
+
+
+class Process(Event):
+    """A running generator; itself an event that fires when the generator ends.
+
+    The event value is the generator's return value.  An uncaught exception
+    inside the generator propagates out of :meth:`Engine.run` (errors should
+    never pass silently in a simulation — they indicate a modeling bug).
+    """
+
+    __slots__ = ("generator", "name")
+
+    def __init__(self, engine, generator, name=None):
+        super().__init__(engine)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        bootstrap = Event(engine)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    def _resume(self, event):
+        """Advance the generator with the triggering event's outcome."""
+        try:
+            if event is None:
+                target = self.generator.send(None)
+            elif event._exception is not None:
+                target = self.generator.throw(event._exception)
+            else:
+                target = self.generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except SimulationError:
+            raise
+        except BaseException as error:  # modeled fault escaping the process
+            # Fail the process event so a waiting parent re-raises it at its
+            # own yield.  If nobody waits, the engine raises at processing
+            # time — errors never pass silently.
+            self.fail(error)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        target.then(self._resume)
+
+
+class AllOf(Event):
+    """Triggers once every event in ``events`` has triggered.
+
+    Value is the list of individual event values, in the given order.
+    """
+
+    __slots__ = ("_pending", "_events")
+
+    def __init__(self, engine, events):
+        super().__init__(engine)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            event.then(self._on_child)
+
+    def _on_child(self, _event):
+        self._pending -= 1
+        if self._pending == 0 and not self.triggered:
+            self.succeed([child.value for child in self._events])
+
+
+class AnyOf(Event):
+    """Triggers when the first of ``events`` triggers; value is that event."""
+
+    __slots__ = ()
+
+    def __init__(self, engine, events):
+        super().__init__(engine)
+        for event in events:
+            event.then(self._on_child)
+
+    def _on_child(self, event):
+        if not self.triggered:
+            self.succeed(event)
+
+
+class Engine:
+    """Owns the simulated clock and runs events in time order.
+
+    Determinism: the heap orders by ``(time, sequence)`` where sequence is a
+    global insertion counter, so same-time events fire in FIFO order and a
+    run is exactly reproducible.
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap = []
+        self._sequence = count()
+
+    @property
+    def now(self):
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- event construction ---------------------------------------------------
+
+    def event(self):
+        """Create a pending :class:`Event` owned by this engine."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create an event triggering ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name=None):
+        """Start ``generator`` as a process; returns its completion event."""
+        return Process(self, generator, name)
+
+    def all_of(self, events):
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """Event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling internals --------------------------------------------------
+
+    def _push_at(self, when, event):
+        heapq.heappush(self._heap, (when, next(self._sequence), event))
+
+    def _push_triggered(self, event):
+        self._push_at(self._now, event)
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, until=None):
+        """Run events until the heap drains or the clock passes ``until``.
+
+        Returns the final simulated time.  Events scheduled exactly at
+        ``until`` still fire (the bound is inclusive).
+        """
+        while self._heap:
+            when, _seq, event = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            if when < self._now:
+                raise SimulationError("event heap went backwards in time")
+            self._now = when
+            event._processed = True
+            callbacks, event.callbacks = event.callbacks, []
+            if event._exception is not None and not callbacks:
+                # A failed event nobody waits on is an unhandled modeled
+                # fault; surface it instead of dropping it.
+                raise event._exception
+            for callback in callbacks:
+                callback(event)
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def peek(self):
+        """Time of the next scheduled event, or ``None`` if the heap is empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]

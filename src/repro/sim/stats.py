@@ -1,0 +1,158 @@
+"""Measurement utilities: percentiles, candlesticks, rates, counters.
+
+The benchmark harness reports the same statistics the paper plots: average
+transaction latency/throughput (Fig. 9, 11), normalized throughput (Fig. 10),
+bandwidth shares (Fig. 12), and latency candlesticks plus bandwidth
+percentages (Fig. 13).
+"""
+
+import math
+
+
+def percentile(samples, fraction):
+    """Linear-interpolated percentile of ``samples`` (fraction in [0, 1])."""
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction {fraction} outside [0, 1]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high or ordered[low] == ordered[high]:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+class Candlestick:
+    """Five-number summary (min, p25, median, p75, max) of a sample set.
+
+    This is the box-with-whiskers shape Fig. 13 draws for shadow-counter
+    update latencies.
+    """
+
+    __slots__ = ("low", "q1", "median", "q3", "high", "count")
+
+    def __init__(self, samples):
+        if not samples:
+            raise ValueError("candlestick of an empty sample set")
+        self.count = len(samples)
+        self.low = min(samples)
+        self.q1 = percentile(samples, 0.25)
+        self.median = percentile(samples, 0.50)
+        self.q3 = percentile(samples, 0.75)
+        self.high = max(samples)
+
+    @property
+    def spread(self):
+        """Max minus min — the 'variance band' the paper discusses."""
+        return self.high - self.low
+
+    def __repr__(self):
+        return (
+            f"Candlestick(low={self.low:.1f}, q1={self.q1:.1f}, "
+            f"median={self.median:.1f}, q3={self.q3:.1f}, "
+            f"high={self.high:.1f}, n={self.count})"
+        )
+
+
+class LatencyRecorder:
+    """Collects latency samples and summarizes them.
+
+    All times are nanoseconds, matching the engine clock.
+    """
+
+    def __init__(self):
+        self.samples = []
+
+    def record(self, latency_ns):
+        if latency_ns < 0:
+            raise ValueError("negative latency recorded")
+        self.samples.append(latency_ns)
+
+    def __len__(self):
+        return len(self.samples)
+
+    @property
+    def mean(self):
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def quantile(self, fraction):
+        return percentile(self.samples, fraction)
+
+    def candlestick(self):
+        return Candlestick(self.samples)
+
+
+class RateMeter:
+    """Counts discrete completions and converts them to a rate per second."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.count = 0
+        self.bytes = 0
+        self._started_at = engine.now
+
+    def tick(self, nbytes=0):
+        self.count += 1
+        self.bytes += nbytes
+
+    def reset(self):
+        self.count = 0
+        self.bytes = 0
+        self._started_at = self.engine.now
+
+    @property
+    def elapsed_ns(self):
+        return self.engine.now - self._started_at
+
+    def per_second(self):
+        """Completions per second of simulated time."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.count * 1e9 / self.elapsed_ns
+
+    def bytes_per_second(self):
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.bytes * 1e9 / self.elapsed_ns
+
+
+class Counter:
+    """A monotonically non-decreasing byte counter with change history.
+
+    This is the *credit counter* abstraction (Section 4.1 of the paper): the
+    device increments it as bytes become persistent; the host polls it.  The
+    monotonicity invariant is enforced here so every user of the class gets
+    it checked for free.
+    """
+
+    def __init__(self, engine, name="counter"):
+        self.engine = engine
+        self.name = name
+        self.value = 0
+        self.last_advanced_at = engine.now
+
+    def advance(self, amount):
+        """Add ``amount`` bytes; rejects regressions."""
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters never regress")
+        if amount:
+            self.value += amount
+            self.last_advanced_at = self.engine.now
+        return self.value
+
+    def set_at_least(self, target):
+        """Raise the counter to ``target`` if it is below (idempotent)."""
+        if target > self.value:
+            self.value = target
+            self.last_advanced_at = self.engine.now
+        return self.value
+
+    def __repr__(self):
+        return f"Counter({self.name}={self.value})"

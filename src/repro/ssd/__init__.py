@@ -1,0 +1,47 @@
+"""The conventional SSD: NVMe protocol, HIC, firmware, buffer, scheduler.
+
+This package assembles the traditional block device of Section 2.2 — the
+"conventional side" that a X-SSD device contains unchanged.  The pieces
+mirror Figure 2 (bottom) of the paper:
+
+* :mod:`repro.ssd.nvme` — the command vocabulary, queues, and doorbells;
+* :mod:`repro.ssd.hic` — the Host Interface Controller that fetches
+  commands, DMAs data, and posts completions;
+* :mod:`repro.ssd.data_buffer` — the DRAM staging area for in-flight data;
+* :mod:`repro.ssd.scheduler` — the storage-controller write scheduler,
+  including the Neutral / DestagePriority / ConventionalPriority modes
+  that implement *opportunistic destaging* (Section 4.3, Fig. 12);
+* :mod:`repro.ssd.firmware` — command-to-flash coordination over the FTL;
+* :mod:`repro.ssd.device` — the assembled device.
+"""
+
+from repro.ssd.data_buffer import DataBuffer
+from repro.ssd.device import ConventionalSsd, SsdConfig
+from repro.ssd.hic import HostInterfaceController
+from repro.ssd.nvme import (
+    AdminOpcode,
+    CompletionQueue,
+    NvmeCommand,
+    NvmeCompletion,
+    NvmeStatus,
+    Opcode,
+    SubmissionQueue,
+)
+from repro.ssd.scheduler import SchedulingMode, WriteScheduler, WriteRequest
+
+__all__ = [
+    "NvmeCommand",
+    "NvmeCompletion",
+    "NvmeStatus",
+    "Opcode",
+    "AdminOpcode",
+    "SubmissionQueue",
+    "CompletionQueue",
+    "HostInterfaceController",
+    "DataBuffer",
+    "SchedulingMode",
+    "WriteScheduler",
+    "WriteRequest",
+    "ConventionalSsd",
+    "SsdConfig",
+]

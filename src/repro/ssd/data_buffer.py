@@ -1,0 +1,86 @@
+"""The device DRAM data buffer.
+
+Incoming write payloads land here before the scheduler moves them to flash
+(Section 2.2, "the data is placed into a temporary Data Buffer area").  The
+buffer also serves read hits.  Capacity is finite: when full, command
+intake stalls — which is how a slow flash backend back-pressures the host.
+
+The buffer's DRAM port is a shared :class:`~repro.sim.resources.BandwidthPipe`;
+a DRAM-backed CMB can share this same port, creating the contention the
+paper observes between fast-side intake and regular buffering activity.
+"""
+
+from repro.sim.resources import BandwidthPipe, Container
+
+
+class DataBuffer:
+    """A finite write-back cache keyed by LBA."""
+
+    def __init__(self, engine, capacity_bytes, bandwidth=2.0,
+                 access_latency_ns=80.0):
+        if capacity_bytes <= 0:
+            raise ValueError("buffer capacity must be positive")
+        self.engine = engine
+        self.capacity_bytes = capacity_bytes
+        self.port = BandwidthPipe(
+            engine, bandwidth, latency=access_latency_ns, name="data-buffer"
+        )
+        self._space = Container(engine, capacity=capacity_bytes,
+                                init=capacity_bytes)
+        self._entries = {}  # lba -> (payload, nbytes)
+        self.hits = 0
+        self.misses = 0
+
+    def insert(self, lba, payload, nbytes):
+        """Stage a write; event fires once space is reserved and data copied.
+
+        Blocks (asynchronously) while the buffer is full.
+        """
+        if nbytes < 0:
+            raise ValueError("negative size")
+        return self.engine.process(
+            self._insert_proc(lba, payload, nbytes), name=f"buf-insert {lba}"
+        )
+
+    def _insert_proc(self, lba, payload, nbytes):
+        old = self._entries.get(lba)
+        if old is not None:
+            # Overwrite in place: reuse the old reservation, adjust delta.
+            delta = nbytes - old[1]
+            if delta > 0:
+                yield self._space.get(delta)
+            elif delta < 0:
+                self._space.put(-delta)
+        else:
+            yield self._space.get(nbytes)
+        yield self.port.transfer(nbytes)
+        self._entries[lba] = (payload, nbytes)
+        return lba
+
+    def lookup(self, lba):
+        """Read hit check; returns (payload, nbytes) or None."""
+        entry = self._entries.get(lba)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def evict(self, lba):
+        """Drop an entry after its flash program completed; frees space."""
+        entry = self._entries.pop(lba, None)
+        if entry is None:
+            return None
+        self._space.put(entry[1])
+        return entry
+
+    def dirty_lbas(self):
+        """LBAs currently staged (the scheduler's conventional work pool)."""
+        return list(self._entries.keys())
+
+    @property
+    def used_bytes(self):
+        return self.capacity_bytes - self._space.level
+
+    def __contains__(self, lba):
+        return lba in self._entries

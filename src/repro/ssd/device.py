@@ -1,0 +1,154 @@
+"""The assembled conventional SSD.
+
+Wires the pieces of Figure 2 (bottom) together: PCIe link, HIC, firmware,
+FTL, channels, data buffer, scheduler, GC.  The host talks to the device
+through :meth:`ConventionalSsd.submit` (driver-level) or the blocking
+helpers :meth:`write`, :meth:`read`, :meth:`flush` (used by the host API
+layer in :mod:`repro.host`).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.ftl.gc import GarbageCollector
+from repro.ftl.mapping import PageMappingFtl
+from repro.nand.channel import Channel
+from repro.nand.geometry import Geometry
+from repro.nand.timing import NandTiming
+from repro.pcie.dma import DmaEngine
+from repro.pcie.link import PcieLink
+from repro.sim.units import MIB
+from repro.ssd.data_buffer import DataBuffer
+from repro.ssd.firmware import Firmware
+from repro.ssd.hic import HostInterfaceController
+from repro.ssd.nvme import (
+    CompletionQueue,
+    NvmeCommand,
+    NvmeStatus,
+    Opcode,
+    SubmissionQueue,
+)
+from repro.ssd.scheduler import SchedulingMode, WriteScheduler
+
+
+@dataclass
+class SsdConfig:
+    """Knobs for building a conventional SSD (Cosmos+-shaped defaults)."""
+
+    geometry: Geometry = field(default_factory=Geometry)
+    timing: NandTiming = field(default_factory=NandTiming)
+    pcie_lanes: int = 4
+    pcie_gen: int = 2
+    data_buffer_bytes: int = 64 * MIB
+    data_buffer_bandwidth: float = 2.0  # GB/s (DDR3 over 64-bit bus)
+    queue_depth: int = 64
+    scheduling_mode: SchedulingMode = SchedulingMode.NEUTRAL
+    hic_pumps: int = 8
+    gc_enabled: bool = True
+    program_fault_model: object = None
+    read_fault_model: object = None
+
+
+class ConventionalSsd:
+    """A complete NVMe block device on a PCIe link."""
+
+    def __init__(self, engine, config=None, name="ssd"):
+        self.engine = engine
+        self.config = config or SsdConfig()
+        self.name = name
+        cfg = self.config
+
+        self.link = PcieLink(engine, lanes=cfg.pcie_lanes, gen=cfg.pcie_gen,
+                             name=f"{name}.pcie")
+        self.dma = DmaEngine(engine, self.link)
+        self.channels = [
+            Channel(engine, cfg.geometry, cfg.timing, channel_id=i,
+                    fault_model=cfg.read_fault_model)
+            for i in range(cfg.geometry.channels)
+        ]
+        self.ftl = PageMappingFtl(
+            engine, self.channels, cfg.geometry,
+            program_fault_model=cfg.program_fault_model,
+        )
+        self.data_buffer = DataBuffer(
+            engine, cfg.data_buffer_bytes,
+            bandwidth=cfg.data_buffer_bandwidth,
+        )
+        self.scheduler = WriteScheduler(engine, self.ftl,
+                                        mode=cfg.scheduling_mode)
+        self.firmware = Firmware(
+            engine, self.ftl, self.data_buffer, self.scheduler,
+            block_bytes=cfg.geometry.page_bytes,
+        )
+        self.submission_queue = SubmissionQueue(engine, depth=cfg.queue_depth)
+        self.completion_queue = CompletionQueue(engine)
+        self.hic = HostInterfaceController(
+            engine, self.link, self.dma, self.submission_queue,
+            self.completion_queue, self.firmware,
+        )
+        self.gc = GarbageCollector(engine, self.ftl)
+        self._started = False
+
+    @property
+    def block_bytes(self):
+        """The device's logical block size (one flash page)."""
+        return self.config.geometry.page_bytes
+
+    def start(self):
+        """Spin up the HIC pumps, scheduler workers, and GC."""
+        if self._started:
+            raise RuntimeError(f"{self.name} already started")
+        self._started = True
+        self.hic.start(pumps=self.config.hic_pumps)
+        self.scheduler.start()
+        if self.config.gc_enabled:
+            self.gc.start()
+        return self
+
+    # -- driver-level interface ---------------------------------------------------
+
+    def submit(self, command):
+        """Submit an NVMe command; event value is the NvmeCompletion."""
+        if not self._started:
+            raise RuntimeError(f"{self.name} not started")
+        done = self.completion_queue.expect(command.command_id)
+        self.submission_queue.submit(command)
+        return done
+
+    # -- blocking helpers (used by the host API layer) ------------------------------
+
+    def write(self, lba, payload, nblocks=1):
+        """Durable block write; event value is the completion."""
+        return self.submit(
+            NvmeCommand(Opcode.WRITE, lba=lba, nblocks=nblocks,
+                        payload=payload)
+        )
+
+    def read(self, lba, nblocks=1):
+        """Block read; event value is the completion (result = payload)."""
+        return self.submit(
+            NvmeCommand(Opcode.READ, lba=lba, nblocks=nblocks)
+        )
+
+    def flush(self):
+        return self.submit(NvmeCommand(Opcode.FLUSH))
+
+    def admin(self, opcode, **arguments):
+        """Issue an admin (possibly vendor-specific) command."""
+        return self.submit(NvmeCommand(opcode, arguments=arguments))
+
+    # -- introspection ---------------------------------------------------------------
+
+    def write_bandwidth_ceiling(self):
+        """Aggregate sustained program bandwidth of the array, bytes/ns.
+
+        Per die: one page every (bus transfer + tPROG); dies overlap except
+        on the shared channel bus.  The min of cell-limited and bus-limited
+        throughput bounds the device — the 100% reference line of Fig. 12.
+        """
+        geometry = self.config.geometry
+        timing = self.config.timing
+        page = geometry.page_bytes
+        per_die = page / (timing.transfer_time(page) + timing.t_program)
+        cell_limit = per_die * geometry.dies
+        bus_limit = timing.bus_bandwidth * geometry.channels
+        return min(cell_limit, bus_limit)

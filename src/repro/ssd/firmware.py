@@ -1,0 +1,111 @@
+"""Firmware: the coordination layer between NVMe commands and flash.
+
+The firmware owns the FTL, the data buffer, and the write scheduler.  A
+write command stages its payload in the buffer and enqueues a request with
+the scheduler; the command completes once the data is durable on flash
+(the Cosmos+ platform carries no power-protected write cache, so the
+conventional side acks only at program completion — which is exactly the
+latency the fast side exists to avoid).  A read command checks the buffer
+first, then falls back to the FTL.
+
+Admin commands are dispatched to registered handlers; the X-SSD modules
+register their vendor-specific handlers here (Section 4.2).
+"""
+
+from repro.ssd.nvme import AdminOpcode, Opcode
+from repro.ssd.scheduler import Source, WriteRequest
+
+
+class Firmware:
+    """Executes NVMe commands over the device's internals."""
+
+    def __init__(self, engine, ftl, data_buffer, scheduler, block_bytes):
+        self.engine = engine
+        self.ftl = ftl
+        self.data_buffer = data_buffer
+        self.scheduler = scheduler
+        self.block_bytes = block_bytes
+        self._admin_handlers = {}
+        self.writes = 0
+        self.reads = 0
+        self.flushes = 0
+
+    def register_admin_handler(self, opcode, handler):
+        """Install ``handler(command) -> result`` for an admin opcode.
+
+        Handlers may be plain functions or generators (for timed work).
+        """
+        if not isinstance(opcode, AdminOpcode):
+            raise TypeError("admin handlers attach to AdminOpcode values")
+        self._admin_handlers[opcode] = handler
+
+    def execute(self, command):
+        """Run ``command``; returns an event with the command's result."""
+        return self.engine.process(
+            self._execute_proc(command), name=f"fw {command.opcode}"
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _execute_proc(self, command):
+        if command.is_admin:
+            result = yield from self._admin(command)
+            return result
+        if command.opcode is Opcode.WRITE:
+            result = yield from self._write(command)
+            return result
+        if command.opcode is Opcode.READ:
+            result = yield from self._read(command)
+            return result
+        if command.opcode is Opcode.FLUSH:
+            result = yield from self._flush(command)
+            return result
+        raise ValueError(f"unknown opcode {command.opcode}")
+
+    def _admin(self, command):
+        handler = self._admin_handlers.get(command.opcode)
+        if handler is None:
+            raise ValueError(f"no handler for admin opcode {command.opcode}")
+        result = handler(command)
+        if hasattr(result, "__next__"):  # generator handler: run timed
+            result = yield self.engine.process(result)
+        else:
+            yield self.engine.timeout(0.0)
+        return result
+
+    def _write(self, command):
+        nbytes = command.nblocks * self.block_bytes
+        yield self.data_buffer.insert(command.lba, command.payload, nbytes)
+        done = self.scheduler.enqueue(
+            WriteRequest(
+                source=Source.CONVENTIONAL,
+                lba=command.lba,
+                payload=command.payload,
+                nbytes=nbytes,
+            )
+        )
+        address = yield done
+        self.data_buffer.evict(command.lba)
+        self.writes += 1
+        return address
+
+    def _read(self, command):
+        hit = self.data_buffer.lookup(command.lba)
+        if hit is not None:
+            payload, nbytes = hit
+            yield self.data_buffer.port.transfer(nbytes)
+            self.reads += 1
+            return payload
+        payload = yield self.ftl.read(command.lba)
+        self.reads += 1
+        return payload
+
+    def _flush(self, command):
+        """Wait until every currently staged write has reached flash."""
+        self.flushes += 1
+        pending = list(self.data_buffer.dirty_lbas())
+        # Poll: the scheduler completes requests independently; flush
+        # semantics only require the *currently dirty* set to drain.
+        while any(lba in self.data_buffer for lba in pending):
+            yield self.engine.timeout(1_000.0)
+        return len(pending)

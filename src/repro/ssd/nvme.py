@@ -1,0 +1,129 @@
+"""NVMe: commands, queues, doorbells, completions.
+
+The model covers what the data path needs: I/O reads and writes with LBA
+addressing, flush, and the *vendor-specific* admin commands the Villars
+device adds for transport-mode control (Section 4.2: "changing the
+networking mode ... is done via software", through the standard driver's
+vendor-specific passthrough).
+"""
+
+import enum
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.sim.resources import Store
+
+_command_ids = count(1)
+
+
+class Opcode(enum.Enum):
+    """NVMe I/O command opcodes the device implements."""
+
+    READ = "read"
+    WRITE = "write"
+    FLUSH = "flush"
+
+
+class AdminOpcode(enum.Enum):
+    """Admin opcodes, including the Villars vendor-specific extensions."""
+
+    IDENTIFY = "identify"
+    # Vendor-specific (Section 4.2 / 7.1): transport role management.
+    XSSD_SET_STANDALONE = "xssd-set-standalone"
+    XSSD_SET_PRIMARY = "xssd-set-primary"
+    XSSD_SET_SECONDARY = "xssd-set-secondary"
+    XSSD_ADD_PEER = "xssd-add-peer"
+    XSSD_CONFIGURE = "xssd-configure"
+    XSSD_QUERY_STATUS = "xssd-query-status"
+
+
+class NvmeStatus(enum.Enum):
+    SUCCESS = "success"
+    MEDIA_ERROR = "media-error"
+    INVALID_FIELD = "invalid-field"
+
+
+@dataclass
+class NvmeCommand:
+    """One submission-queue entry.
+
+    ``payload`` carries the data identity for writes (the simulator moves
+    sizes over the wires and objects through the state).  ``arguments``
+    carries admin parameters.
+    """
+
+    opcode: object
+    lba: int = 0
+    nblocks: int = 0
+    payload: object = None
+    arguments: dict = field(default_factory=dict)
+    command_id: int = field(default_factory=lambda: next(_command_ids))
+    submitted_at: float = 0.0
+
+    @property
+    def is_admin(self):
+        return isinstance(self.opcode, AdminOpcode)
+
+
+@dataclass
+class NvmeCompletion:
+    """One completion-queue entry."""
+
+    command_id: int
+    status: NvmeStatus = NvmeStatus.SUCCESS
+    result: object = None
+
+
+class SubmissionQueue:
+    """Host-side command queue with a doorbell.
+
+    The driver appends commands and rings the doorbell; the HIC awaits the
+    doorbell and fetches.  Fetching a command costs one read round trip on
+    the link (the HIC pays it), which is part of why the conventional path
+    has the latency it has.
+    """
+
+    def __init__(self, engine, depth=64):
+        self.engine = engine
+        self.depth = depth
+        self._entries = Store(engine, capacity=depth)
+
+    def submit(self, command):
+        """Append ``command``; event fires when the SQ slot is taken."""
+        command.submitted_at = self.engine.now
+        return self._entries.put(command)
+
+    def fetch(self):
+        """Device side: event whose value is the next command."""
+        return self._entries.get()
+
+    def __len__(self):
+        return len(self._entries)
+
+
+class CompletionQueue:
+    """Device-to-host completions with interrupt delivery latency."""
+
+    # MSI-X interrupt delivery + driver ISR cost, ns.
+    INTERRUPT_NS = 2_000.0
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._waiters = {}  # command_id -> Event
+
+    def expect(self, command_id):
+        """Host side: event that fires when ``command_id`` completes."""
+        if command_id in self._waiters:
+            raise ValueError(f"already waiting on command {command_id}")
+        event = self.engine.event()
+        self._waiters[command_id] = event
+        return event
+
+    def post(self, completion):
+        """Device side: deliver ``completion`` after the interrupt delay."""
+        def _deliver(_event):
+            waiter = self._waiters.pop(completion.command_id, None)
+            if waiter is not None:
+                waiter.succeed(completion)
+
+        self.engine.timeout(self.INTERRUPT_NS).then(_deliver)

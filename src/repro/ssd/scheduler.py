@@ -1,0 +1,161 @@
+"""The storage-controller write scheduler and its priority modes.
+
+The scheduler decides, whenever flash bandwidth frees up, whether the next
+program comes from the *conventional* pool (data-buffer pages) or the
+*destage* pool (CMB log pages).  Section 4.3 defines three modes:
+
+* **Neutral** — divide writing opportunities equally (round-robin while
+  both pools have work);
+* **DestagePriority** — destage pages first; conventional pages ride only
+  in the gaps;
+* **ConventionalPriority** — the reverse: destage pages are opportunistic.
+
+"Opportunistic" here means the low-priority pool is dispatched only when
+the high-priority pool has nothing pending — the scheduler never preempts
+an issued flash program (flash programs are not preemptible), which is why
+the mode matters most under saturation (Fig. 12).
+"""
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from itertools import count
+
+_request_ids = count(1)
+
+
+class SchedulingMode(enum.Enum):
+    NEUTRAL = "neutral"
+    DESTAGE_PRIORITY = "destage"
+    CONVENTIONAL_PRIORITY = "conventional"
+
+
+class Source(enum.Enum):
+    CONVENTIONAL = "conventional"
+    DESTAGE = "destage"
+
+
+@dataclass
+class WriteRequest:
+    """One page's worth of data waiting for flash."""
+
+    source: Source
+    lba: int
+    payload: object
+    nbytes: int
+    completion: object = None  # Event to succeed with the physical address
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+
+class WriteScheduler:
+    """Arbitrates flash writes between the conventional and destage pools.
+
+    The scheduler runs ``parallelism`` dispatch workers (one per concurrent
+    flash program the array can absorb, typically channels x ways) that
+    pull requests according to the active mode and drive them through the
+    FTL.  Mode can be changed at runtime via an admin command.
+    """
+
+    def __init__(self, engine, ftl, mode=SchedulingMode.NEUTRAL,
+                 parallelism=None):
+        self.engine = engine
+        self.ftl = ftl
+        self.mode = mode
+        if parallelism is None:
+            geometry = ftl.geometry
+            parallelism = geometry.channels * geometry.ways_per_channel
+        self.parallelism = parallelism
+        self._pools = {
+            Source.CONVENTIONAL: deque(),
+            Source.DESTAGE: deque(),
+        }
+        self._work_available = engine.event()
+        self._running = False
+        self.dispatched = {Source.CONVENTIONAL: 0, Source.DESTAGE: 0}
+        self.bytes_written = {Source.CONVENTIONAL: 0, Source.DESTAGE: 0}
+
+    # -- intake -------------------------------------------------------------------
+
+    def enqueue(self, request):
+        """Queue ``request``; returns an event firing at program completion."""
+        if request.completion is None:
+            request.completion = self.engine.event()
+        self._pools[request.source].append(request)
+        self._signal()
+        return request.completion
+
+    def submit(self, source, lba, payload, nbytes):
+        """Convenience: build and enqueue a request."""
+        return self.enqueue(
+            WriteRequest(source=source, lba=lba, payload=payload,
+                         nbytes=nbytes)
+        )
+
+    def _signal(self):
+        if not self._work_available.triggered:
+            self._work_available.succeed()
+
+    # -- policy --------------------------------------------------------------------
+
+    def _pick_source(self):
+        """Choose which pool feeds the next free flash slot, or None."""
+        conventional = self._pools[Source.CONVENTIONAL]
+        destage = self._pools[Source.DESTAGE]
+        if not conventional and not destage:
+            return None
+        if not conventional:
+            return Source.DESTAGE
+        if not destage:
+            return Source.CONVENTIONAL
+        if self.mode is SchedulingMode.DESTAGE_PRIORITY:
+            return Source.DESTAGE
+        if self.mode is SchedulingMode.CONVENTIONAL_PRIORITY:
+            return Source.CONVENTIONAL
+        # Neutral: a traditional device has one mixed queue — serve in
+        # arrival order, which degrades both streams proportionally to
+        # their offered load under saturation (the Fig. 12 left shape).
+        if conventional[0].request_id <= destage[0].request_id:
+            return Source.CONVENTIONAL
+        return Source.DESTAGE
+
+    def pending(self, source):
+        return len(self._pools[source])
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def start(self):
+        """Launch the dispatch workers."""
+        if self._running:
+            raise RuntimeError("scheduler already started")
+        self._running = True
+        return [
+            self.engine.process(self._worker(), name=f"sched-worker-{i}")
+            for i in range(self.parallelism)
+        ]
+
+    def stop(self):
+        self._running = False
+        self._signal()
+
+    def _worker(self):
+        while self._running:
+            source = self._pick_source()
+            if source is None:
+                # Sleep until new work arrives.
+                event = self._work_available
+                if event.triggered:
+                    self._work_available = self.engine.event()
+                    continue
+                yield event
+                continue
+            request = self._pools[source].popleft()
+            try:
+                address = yield self.ftl.write(
+                    request.lba, request.payload, request.nbytes
+                )
+            except Exception as error:  # modeled fault -> propagate to waiter
+                request.completion.fail(error)
+                continue
+            self.dispatched[source] += 1
+            self.bytes_written[source] += request.nbytes
+            request.completion.succeed(address)

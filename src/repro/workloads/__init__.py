@@ -1,0 +1,23 @@
+"""Workload generators driving the benchmarks.
+
+* :mod:`repro.workloads.tpcc` — a TPC-C-shaped transactional workload
+  (five transaction types, standard mix, warehouse scaling) producing the
+  log-record profile the paper's Fig. 9 and 11 experiments rely on;
+* :mod:`repro.workloads.ycsb` — a key/value update workload with zipfian
+  skew, for broader coverage;
+* :mod:`repro.workloads.synthetic` — raw append streams with controlled
+  write sizes and rates, used by the microbenchmarks (Figs. 10-13).
+"""
+
+from repro.workloads.synthetic import AppendStream, paced_append_stream
+from repro.workloads.tpcc import TpccConfig, TpccWorkload
+from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+
+__all__ = [
+    "TpccConfig",
+    "TpccWorkload",
+    "YcsbConfig",
+    "YcsbWorkload",
+    "AppendStream",
+    "paced_append_stream",
+]

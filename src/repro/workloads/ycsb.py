@@ -1,0 +1,109 @@
+"""A YCSB-style key/value workload with zipfian key skew.
+
+Used for coverage beyond TPC-C: uniform-or-skewed single-record updates
+with a configurable read fraction and value size — a useful stress for
+the log path because every update transaction emits exactly one data
+record plus a commit record.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.rng import derive
+
+
+@dataclass(frozen=True)
+class YcsbConfig:
+    records: int = 10_000
+    value_bytes: int = 100
+    read_fraction: float = 0.5
+    zipf_theta: float = 0.99  # 0 disables skew
+    seed: int = 7
+
+    def __post_init__(self):
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction outside [0, 1]")
+        if self.records < 1:
+            raise ValueError("need at least one record")
+
+
+class ZipfGenerator:
+    """Classic Gray et al. zipfian index generator over [0, n)."""
+
+    def __init__(self, n, theta, rng):
+        self.n = n
+        self.theta = theta
+        self.rng = rng
+        self.zetan = sum(1.0 / math.pow(i + 1, theta) for i in range(n))
+        self.alpha = 1.0 / (1.0 - theta)
+        zeta2 = sum(1.0 / math.pow(i + 1, theta) for i in range(2))
+        self.eta = (1 - math.pow(2.0 / n, 1 - theta)) / (
+            1 - zeta2 / self.zetan
+        )
+
+    def next(self):
+        u = self.rng.random()
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + math.pow(0.5, self.theta):
+            return 1
+        return int(self.n * math.pow(self.eta * u - self.eta + 1, self.alpha))
+
+
+class YcsbWorkload:
+    """Generates YCSB transaction bodies for Database.run_worker."""
+
+    TABLE = "usertable"
+
+    def __init__(self, config=None, worker_id=0):
+        self.config = config or YcsbConfig()
+        self.rng = derive(self.config.seed, "ycsb", worker_id)
+        if self.config.zipf_theta > 0:
+            self._zipf = ZipfGenerator(
+                min(self.config.records, 1000),  # bounded zeta computation
+                self.config.zipf_theta,
+                self.rng,
+            )
+        else:
+            self._zipf = None
+        self.reads = 0
+        self.updates = 0
+
+    @classmethod
+    def create_schema(cls, database):
+        database.create_table(cls.TABLE)
+
+    def populate(self, database, records=None):
+        count = records if records is not None else min(
+            self.config.records, 1000
+        )
+        for key in range(count):
+            database.table(self.TABLE).install(
+                key, "x" * self.config.value_bytes, 0
+            )
+
+    def _key(self):
+        if self._zipf is not None:
+            return self._zipf.next()
+        return self.rng.randint(0, min(self.config.records, 1000) - 1)
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        key = self._key()
+        if self.rng.random() < self.config.read_fraction:
+            self.reads += 1
+
+            def body(txn, key=key):
+                txn.read(self.TABLE, key)
+
+            return body
+        self.updates += 1
+        value = "v" * self.config.value_bytes
+
+        def body(txn, key=key, value=value):
+            txn.write(self.TABLE, key, value)
+
+        return body

@@ -1,0 +1,50 @@
+"""Tests for the `python -m repro.bench` command-line entry point."""
+
+import pytest
+
+import repro.bench.__main__ as cli
+
+
+class TestArgParsing:
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["fig99"])
+
+    def test_figure_table_names_registered(self):
+        assert set(cli.FIGURES) == {"fig09", "fig10", "fig11", "fig12",
+                                    "fig13"}
+
+
+class TestDispatch:
+    def test_single_figure_dispatches_once(self, monkeypatch, capsys):
+        calls = []
+        monkeypatch.setitem(cli.FIGURES, "fig09",
+                            lambda args: calls.append(args.txns))
+        assert cli.main(["fig09", "--txns", "7"]) == 0
+        assert calls == [7]
+
+    def test_all_dispatches_every_figure(self, monkeypatch):
+        calls = []
+        for name in list(cli.FIGURES):
+            monkeypatch.setitem(
+                cli.FIGURES, name,
+                lambda args, name=name: calls.append(name),
+            )
+        assert cli.main(["all"]) == 0
+        assert calls == ["fig09", "fig10", "fig11", "fig12", "fig13"]
+
+    def test_worker_list_parsed(self, monkeypatch):
+        seen = {}
+        monkeypatch.setitem(cli.FIGURES, "fig09",
+                            lambda args: seen.update(workers=args.workers))
+        cli.main(["fig09", "--workers", "1", "4"])
+        assert seen["workers"] == [1, 4]
+
+
+class TestRealRun:
+    def test_fig12_runs_end_to_end(self, capsys):
+        """One real (fast) figure through the CLI path."""
+        assert cli.main(["fig12"]) == 0
+        output = capsys.readouterr().out
+        assert "opportunistic destaging" in output
+        assert "neutral" in output

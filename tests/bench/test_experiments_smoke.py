@@ -1,0 +1,61 @@
+"""Fast smoke runs of every bench experiment (reduced parameters).
+
+The full sweeps live under ``benchmarks/``; these smoke tests verify the
+experiment plumbing stays runnable from the ordinary test suite, with
+minutes shaved off by shrinking the parameter grids.
+"""
+
+import pytest
+
+from repro.bench.fig09_local_logging import run_one as fig09_cell
+from repro.bench.fig10_write_combining import run_fig10
+from repro.bench.fig11_queue_size import run_one as fig11_cell
+from repro.bench.fig12_destage_priority import run_one as fig12_cell
+from repro.bench.fig13_replication_delay import run_one as fig13_cell
+from repro.sim.units import KIB
+
+
+def test_fig09_cell_runs_and_reports():
+    row = fig09_cell("villars-sram", workers=2, transactions_per_worker=20)
+    assert row["commits"] == 40
+    assert row["mean_latency_us"] > 0
+    assert row["throughput_ktps"] > 0
+
+
+def test_fig09_nvme_slower_than_sram():
+    sram = fig09_cell("villars-sram", 2, transactions_per_worker=20)
+    nvme = fig09_cell("nvme", 2, transactions_per_worker=20)
+    assert nvme["mean_latency_us"] > 3 * sram["mean_latency_us"]
+
+
+def test_fig10_reduced_grid_keeps_wc_advantage():
+    rows = run_fig10(write_sizes=(8, 64), backings=("sram",),
+                     total_bytes=32 * KIB)
+    by_key = {(r["policy"], r["write_bytes"]): r for r in rows}
+    assert (by_key[("WC", 64)]["throughput_bytes_per_ns"]
+            > by_key[("UC", 64)]["throughput_bytes_per_ns"])
+    assert by_key[("WC", 64)]["normalized"] == pytest.approx(1.0)
+
+
+def test_fig11_cell_counts_credit_checks():
+    row = fig11_cell(group_bytes=16 * KIB, queue_bytes=4 * KIB, writes=8)
+    assert row["credit_checks"] > 0
+    assert row["mean_latency_us"] > 0
+
+
+def test_fig12_cell_reports_achieved_bandwidth():
+    row = fig12_cell("neutral", fast_fraction=0.3, duration_ns=10e6)
+    assert 0 < row["conv_achieved_pct"] <= 60
+    assert 0 < row["fast_achieved_pct"] <= 40
+
+
+def test_fig13_cell_produces_candlestick():
+    row = fig13_cell(update_period_us=0.8, writes=40)
+    assert row["latency_low_us"] <= row["latency_median_us"]
+    assert row["latency_median_us"] <= row["latency_high_us"]
+    assert row["bandwidth_pct"] > 0
+
+
+def test_fig09_rejects_unknown_setup():
+    with pytest.raises(ValueError):
+        fig09_cell("optane", 1, transactions_per_worker=1)

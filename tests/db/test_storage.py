@@ -1,0 +1,72 @@
+"""Direct unit tests for the table storage layer."""
+
+from hypothesis import given, strategies as st
+
+from repro.db.storage import Table
+
+
+class TestTable:
+    def test_install_and_get(self):
+        table = Table("t")
+        table.install("k", "v", commit_lsn=5)
+        assert table.get("k") == "v"
+        assert table.version_of("k") == 5
+
+    def test_missing_key(self):
+        table = Table("t")
+        assert table.get("ghost") is None
+        assert table.version_of("ghost") == 0
+
+    def test_none_value_deletes_but_keeps_version(self):
+        table = Table("t")
+        table.install("k", "v", 1)
+        table.install("k", None, 2)
+        assert table.get("k") is None
+        # The version survives deletion so OCC reads can detect it.
+        assert table.version_of("k") == 2
+
+    def test_scan_is_a_snapshot(self):
+        table = Table("t")
+        table.install("a", 1, 1)
+        snapshot = table.scan()
+        table.install("b", 2, 2)
+        assert len(snapshot) == 1
+        assert len(table) == 2
+
+    def test_commits_applied_counter(self):
+        table = Table("t")
+        table.install("a", 1, 1)
+        table.install("a", 2, 2)
+        assert table.commits_applied == 2
+
+    def test_checksum_differs_on_content(self):
+        alpha = Table("t")
+        beta = Table("t")
+        alpha.install("k", "v1", 1)
+        beta.install("k", "v2", 1)
+        assert alpha.checksum() != beta.checksum()
+
+    def test_checksum_is_order_independent(self):
+        alpha = Table("t")
+        beta = Table("t")
+        alpha.install("a", 1, 1)
+        alpha.install("b", 2, 2)
+        beta.install("b", 2, 2)
+        beta.install("a", 1, 1)
+        assert alpha.checksum() == beta.checksum()
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 100)),
+            max_size=50,
+        )
+    )
+    def test_last_install_wins_property(self, operations):
+        table = Table("t")
+        expected = {}
+        for lsn, (key, value) in enumerate(operations, start=1):
+            table.install(key, value, lsn)
+            expected[key] = value
+        for key, value in expected.items():
+            assert table.get(key) == value
+        assert dict(table.scan()) == expected

@@ -1,0 +1,228 @@
+"""Unit and property tests for the mapping table and the timed FTL."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ftl.allocator import BlockAllocator, OutOfSpaceError
+from repro.ftl.mapping import MappingTable, PageMappingFtl
+from repro.nand.channel import Channel
+from repro.nand.ecc import ProgramFaultModel
+from repro.nand.geometry import Geometry, PhysicalPageAddress
+from repro.nand.timing import NandTiming
+from repro.sim import Engine
+
+
+def small_geometry():
+    return Geometry(channels=2, ways_per_channel=2, blocks_per_die=4,
+                    pages_per_block=4, page_bytes=4096)
+
+
+def make_ftl(geometry=None, fault_model=None):
+    engine = Engine()
+    geometry = geometry or small_geometry()
+    timing = NandTiming(t_program=1000.0, t_read=100.0, t_erase=5000.0,
+                        bus_bandwidth=4.0)
+    channels = [
+        Channel(engine, geometry, timing, channel_id=i)
+        for i in range(geometry.channels)
+    ]
+    ftl = PageMappingFtl(engine, channels, geometry,
+                         program_fault_model=fault_model)
+    return engine, ftl
+
+
+class TestMappingTable:
+    def test_bind_and_lookup(self):
+        table = MappingTable(small_geometry())
+        address = PhysicalPageAddress(0, 0, 0, 0)
+        table.bind(7, address)
+        assert table.lookup(7) == address
+        assert table.lba_of(address) == 7
+
+    def test_rebind_invalidates_old_page(self):
+        table = MappingTable(small_geometry())
+        first = PhysicalPageAddress(0, 0, 0, 0)
+        second = PhysicalPageAddress(1, 0, 0, 0)
+        table.bind(7, first)
+        table.bind(7, second)
+        assert table.lookup(7) == second
+        assert table.lba_of(first) is None
+        assert table.live_pages_in(0, 0, 0) == 0
+        assert table.live_pages_in(1, 0, 0) == 1
+
+    def test_double_mapping_same_physical_page_rejected(self):
+        table = MappingTable(small_geometry())
+        address = PhysicalPageAddress(0, 0, 0, 0)
+        table.bind(1, address)
+        with pytest.raises(ValueError):
+            table.bind(2, address)
+
+    def test_unbind_unknown_lba_is_noop(self):
+        table = MappingTable(small_geometry())
+        assert table.unbind(99) is None
+
+    def test_live_lbas_in_block(self):
+        table = MappingTable(small_geometry())
+        table.bind(1, PhysicalPageAddress(0, 0, 2, 0))
+        table.bind(2, PhysicalPageAddress(0, 0, 2, 1))
+        table.bind(3, PhysicalPageAddress(0, 1, 2, 0))
+        assert sorted(table.live_lbas_in(0, 0, 2)) == [1, 2]
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 1000)),
+                    max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_forward_map_injective_over_live_pages(self, operations):
+        """Property: no two LBAs ever share a physical page."""
+        geometry = small_geometry()
+        table = MappingTable(geometry)
+        next_index = 0
+        for lba, _salt in operations:
+            if next_index >= geometry.total_pages:
+                break
+            table.bind(lba, geometry.address_of(next_index))
+            next_index += 1
+        seen = set()
+        for lba in range(21):
+            address = table.lookup(lba)
+            if address is not None:
+                key = (address.channel, address.way, address.block, address.page)
+                assert key not in seen
+                seen.add(key)
+
+
+class TestBlockAllocator:
+    def test_place_stripes_across_channels(self):
+        allocator = BlockAllocator(small_geometry())
+        placements = [allocator.place() for _ in range(4)]
+        channels = [p[0] for p in placements]
+        assert channels == [0, 1, 0, 1]
+
+    def test_exhaustion_raises(self):
+        geometry = Geometry(channels=1, ways_per_channel=1, blocks_per_die=1,
+                            pages_per_block=2, page_bytes=512)
+        allocator = BlockAllocator(geometry)
+        allocator.place()
+        allocator.place()
+        with pytest.raises(OutOfSpaceError):
+            allocator.place()
+
+    def test_bad_block_skipped(self):
+        geometry = Geometry(channels=1, ways_per_channel=1, blocks_per_die=2,
+                            pages_per_block=1, page_bytes=512)
+        allocator = BlockAllocator(geometry)
+        allocator.mark_bad(0, 0, 0)
+        channel, way, block, page = allocator.place()
+        assert block == 1
+
+    def test_release_recycles_block(self):
+        geometry = Geometry(channels=1, ways_per_channel=1, blocks_per_die=1,
+                            pages_per_block=1, page_bytes=512)
+        allocator = BlockAllocator(geometry)
+        allocator.place()
+        allocator.release(0, 0, 0)
+        assert allocator.place() == (0, 0, 0, 0)
+
+    def test_needs_gc_when_free_pool_low(self):
+        geometry = Geometry(channels=1, ways_per_channel=1, blocks_per_die=3,
+                            pages_per_block=1, page_bytes=512)
+        allocator = BlockAllocator(geometry, reserved_blocks_per_die=1)
+        assert not allocator.needs_gc()
+        allocator.place()
+        allocator.place()
+        assert allocator.needs_gc()
+
+
+class TestPageMappingFtl:
+    def test_read_after_write_returns_payload(self):
+        engine, ftl = make_ftl()
+        results = []
+
+        def proc():
+            yield ftl.write(5, "hello-lba-5")
+            payload = yield ftl.read(5)
+            results.append(payload)
+
+        engine.process(proc())
+        engine.run()
+        assert results == ["hello-lba-5"]
+
+    def test_overwrite_returns_latest(self):
+        engine, ftl = make_ftl()
+        results = []
+
+        def proc():
+            yield ftl.write(5, "v1")
+            yield ftl.write(5, "v2")
+            payload = yield ftl.read(5)
+            results.append(payload)
+
+        engine.process(proc())
+        engine.run()
+        assert results == ["v2"]
+
+    def test_read_unwritten_lba_raises(self):
+        engine, ftl = make_ftl()
+        caught = []
+
+        def proc():
+            try:
+                yield ftl.read(404)
+            except KeyError:
+                caught.append(True)
+
+        engine.process(proc())
+        engine.run()
+        assert caught == [True]
+
+    def test_program_failure_retires_block_and_retries(self):
+        fault = ProgramFaultModel()
+        fault.force_failure_at(0, 0, 0)
+        engine, ftl = make_ftl(fault_model=fault)
+        results = []
+
+        def proc():
+            yield ftl.write(1, "survives")
+            payload = yield ftl.read(1)
+            results.append(payload)
+
+        engine.process(proc())
+        engine.run()
+        assert results == ["survives"]
+        assert ftl.program_failures == 1
+        assert (0, 0, 0) in ftl.allocator.bad_blocks
+
+    def test_writes_spread_over_parallel_channels(self):
+        engine, ftl = make_ftl()
+        done = []
+
+        def proc():
+            events = [ftl.write(i, f"page-{i}") for i in range(4)]
+            yield engine.all_of(events)
+            done.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        # Four writes across 2 channels x 2 ways overlap their tPROGs:
+        # total should be far below 4 sequential programs.
+        sequential = 4 * (4096 / 4.0 + 1000.0)
+        assert done[0] < sequential * 0.75
+
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 10_000)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_read_after_write_property(self, writes):
+        """Property: the FTL always returns the last value written per LBA."""
+        engine, ftl = make_ftl()
+        expected = {}
+
+        def proc():
+            for lba, value in writes:
+                payload = f"lba{lba}-v{value}"
+                yield ftl.write(lba, payload)
+                expected[lba] = payload
+            for lba, want in expected.items():
+                got = yield ftl.read(lba)
+                assert got == want
+
+        engine.process(proc())
+        engine.run()

@@ -1,0 +1,206 @@
+"""Tests for the advanced allocator API and the baseline log files."""
+
+import pytest
+
+from repro.core.config import villars_sram
+from repro.core.device import XssdDevice
+from repro.host.alloc import CmbAllocator
+from repro.host.baselines import (
+    HostPmRdmaLogFile,
+    NoLogFile,
+    NvdimmLogFile,
+    NvmeLogFile,
+)
+from repro.nand.geometry import Geometry
+from repro.nand.timing import NandTiming
+from repro.pcie.rdma import RdmaNic
+from repro.pm.nvdimm import Nvdimm
+from repro.sim import Engine
+from repro.ssd.device import ConventionalSsd, SsdConfig
+
+
+def small_ssd_config():
+    return SsdConfig(
+        geometry=Geometry(channels=2, ways_per_channel=2, blocks_per_die=32,
+                          pages_per_block=16, page_bytes=4096),
+        timing=NandTiming(t_program=50_000.0, t_read=5_000.0,
+                          t_erase=200_000.0, bus_bandwidth=1.0),
+    )
+
+
+class TestCmbAllocator:
+    def make(self):
+        engine = Engine()
+        device = XssdDevice(
+            engine,
+            villars_sram(ssd=small_ssd_config(), cmb_capacity=64 * 1024,
+                         cmb_queue_bytes=8 * 1024),
+        ).start()
+        return engine, device, CmbAllocator(device)
+
+    def test_alloc_assigns_consecutive_regions(self):
+        engine, device, allocator = self.make()
+        first = allocator.x_alloc(1000)
+        second = allocator.x_alloc(500)
+        assert first.offset == 0
+        assert second.offset == 1000
+
+    def test_parallel_fill_then_free_destages(self):
+        engine, device, allocator = self.make()
+        a = allocator.x_alloc(512)
+        b = allocator.x_alloc(512)
+
+        def worker(region, label):
+            # Fill back-to-front to prove order independence.
+            yield region.write(256, 256, f"{label}-hi")
+            yield region.write(0, 256, f"{label}-lo")
+            yield allocator.x_free(region)
+
+        engine.process(worker(b, "b"))  # b first: out-of-order vs stream
+        engine.process(worker(a, "a"))
+        engine.run(until=10_000_000.0)
+        assert device.cmb.credit.value == 1024
+        assert not device.cmb.ring.has_gap
+
+    def test_free_of_partial_region_rejected(self):
+        engine, device, allocator = self.make()
+        region = allocator.x_alloc(100)
+
+        def proc():
+            yield region.write(0, 50, "half")
+
+        engine.process(proc())
+        engine.run(until=1_000_000.0)
+        with pytest.raises(ValueError):
+            allocator.x_free(region)
+
+    def test_double_free_rejected(self):
+        engine, device, allocator = self.make()
+        region = allocator.x_alloc(64)
+
+        def proc():
+            yield region.write(0, 64, "all")
+            yield allocator.x_free(region)
+
+        engine.process(proc())
+        engine.run(until=1_000_000.0)
+        with pytest.raises(ValueError):
+            allocator.x_free(region)
+
+    def test_write_outside_region_rejected(self):
+        engine, device, allocator = self.make()
+        region = allocator.x_alloc(64)
+        with pytest.raises(ValueError):
+            region.write(60, 10, "spill")
+
+
+class TestBaselines:
+    def test_no_log_is_instant(self):
+        engine = Engine()
+        log = NoLogFile(engine)
+        times = []
+
+        def proc():
+            yield log.x_pwrite("r", 100)
+            yield log.x_fsync()
+            times.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert times == [0.0]
+
+    def test_nvdimm_latency_is_submicrosecond(self):
+        engine = Engine()
+        log = NvdimmLogFile(engine, Nvdimm(engine, capacity=1 << 30))
+        times = []
+
+        def proc():
+            yield log.x_pwrite("r", 256)
+            yield log.x_fsync()
+            times.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert 0 < times[0] < 1_000.0
+
+    def test_nvme_fsync_pays_flash_program(self):
+        engine = Engine()
+        ssd = ConventionalSsd(engine, small_ssd_config()).start()
+        log = NvmeLogFile(engine, ssd)
+        times = []
+
+        def proc():
+            yield log.x_pwrite("r", 256)
+            yield log.x_fsync()
+            times.append(engine.now)
+
+        engine.process(proc())
+        engine.run(until=10_000_000.0)
+        assert times[0] > 50_000.0  # at least one tPROG
+
+    def test_nvme_full_blocks_flush_eagerly(self):
+        engine = Engine()
+        ssd = ConventionalSsd(engine, small_ssd_config()).start()
+        log = NvmeLogFile(engine, ssd)
+
+        def proc():
+            yield log.x_pwrite("big", 3 * 4096)
+
+        engine.process(proc())
+        engine.run(until=10_000_000.0)
+        assert log.blocks_written == 3
+
+    def test_host_pm_rdma_counts_four_movements_per_destaged_block(self):
+        engine = Engine()
+        ssd = ConventionalSsd(engine, small_ssd_config()).start()
+        nvdimm = Nvdimm(engine, capacity=1 << 30)
+        qp = RdmaNic(engine, "a").connect(RdmaNic(engine, "b"))
+        log = HostPmRdmaLogFile(engine, nvdimm, qp, ssd,
+                                destage_block_bytes=4096)
+
+        def proc():
+            for i in range(8):
+                yield log.x_pwrite(f"r{i}", 1024)
+            yield log.x_fsync()
+
+        engine.process(proc())
+        engine.run(until=100_000_000.0)
+        # 8 writes x 2 movements + 2 destaged blocks x 2 movements.
+        assert log.data_movements == 8 * 2 + 2 * 2
+
+    def test_host_pm_rdma_slower_than_nvdimm_alone(self):
+        """Replication costs: the Fig. 1 (left) path pays network latency."""
+
+        def run_nvdimm():
+            engine = Engine()
+            log = NvdimmLogFile(engine, Nvdimm(engine, capacity=1 << 30))
+            done = {}
+
+            def proc():
+                for i in range(4):
+                    yield log.x_pwrite("r", 512)
+                done["t"] = engine.now
+
+            engine.process(proc())
+            engine.run(until=100_000_000.0)
+            return done["t"]
+
+        def run_rdma():
+            engine = Engine()
+            ssd = ConventionalSsd(engine, small_ssd_config()).start()
+            qp = RdmaNic(engine, "a").connect(RdmaNic(engine, "b"))
+            log = HostPmRdmaLogFile(
+                engine, Nvdimm(engine, capacity=1 << 30), qp, ssd
+            )
+            done = {}
+
+            def proc():
+                for i in range(4):
+                    yield log.x_pwrite("r", 512)
+                done["t"] = engine.now
+
+            engine.process(proc())
+            engine.run(until=100_000_000.0)
+            return done["t"]
+
+        assert run_rdma() > run_nvdimm()

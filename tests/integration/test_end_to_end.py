@@ -1,0 +1,216 @@
+"""Cross-module integration tests: whole-stack scenarios beyond the
+figure experiments."""
+
+import pytest
+
+from repro.core.config import villars_sram, villars_dram
+from repro.core.crash import PowerLossInjector
+from repro.core.device import XssdDevice
+from repro.db.engine import Database
+from repro.db.recovery import recover_from_pages
+from repro.host.api import XssdLogFile
+from repro.host.baselines import NoLogFile
+from repro.nand.geometry import Geometry
+from repro.nand.timing import NandTiming
+from repro.sim import Engine
+from repro.ssd.device import SsdConfig
+from repro.ssd.scheduler import SchedulingMode, Source
+from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+
+
+def small_ssd(**overrides):
+    base = dict(
+        geometry=Geometry(channels=2, ways_per_channel=2, blocks_per_die=64,
+                          pages_per_block=16, page_bytes=4096),
+        timing=NandTiming(t_program=50_000.0, t_read=5_000.0,
+                          t_erase=200_000.0, bus_bandwidth=1.0),
+    )
+    base.update(overrides)
+    return SsdConfig(**base)
+
+
+def make_stack(kind="sram", **villars_overrides):
+    engine = Engine()
+    factory = villars_sram if kind == "sram" else villars_dram
+    device = XssdDevice(
+        engine,
+        factory(ssd=small_ssd(), cmb_capacity=64 * 1024,
+                cmb_queue_bytes=8 * 1024, **villars_overrides),
+    ).start()
+    return engine, device
+
+
+class TestMixedWorkloads:
+    def test_fast_log_and_conventional_blocks_coexist(self):
+        """Log traffic on the fast side while regular block I/O runs."""
+        engine, device = make_stack()
+        log = XssdLogFile(device)
+        results = {}
+
+        def logger():
+            for index in range(8):
+                yield log.x_pwrite(f"log-{index}", 2048)
+            yield log.x_fsync()
+            results["log_done"] = engine.now
+
+        def block_user():
+            for lba in range(6):
+                yield device.conventional.write(10_000 + lba, f"block-{lba}")
+            completion = yield device.conventional.read(10_000)
+            results["block_read"] = completion.result
+
+        engine.process(logger())
+        engine.process(block_user())
+        engine.run(until=100_000_000.0)
+        assert results["block_read"] == "block-0"
+        assert device.cmb.credit.value == 8 * 2048
+        # Both traffic classes hit flash.
+        assert device.conventional.scheduler.dispatched[Source.DESTAGE] > 0
+        assert device.conventional.scheduler.dispatched[
+            Source.CONVENTIONAL] >= 6
+
+    def test_destage_priority_mode_respected_under_mixed_load(self):
+        engine, device = make_stack()
+        device.conventional.scheduler.mode = SchedulingMode.DESTAGE_PRIORITY
+        log = XssdLogFile(device)
+        done = {}
+
+        def proc():
+            yield log.x_pwrite("big-log", 16 * 1024)
+            yield log.x_fsync()
+            done["t"] = engine.now
+
+        engine.process(proc())
+        for lba in range(10):
+            device.conventional.write(20_000 + lba, "filler")
+        engine.run(until=100_000_000.0)
+        assert "t" in done
+
+
+class TestYcsbOverVillars:
+    def test_ycsb_updates_survive_crash_and_recovery(self):
+        engine, device = make_stack()
+        log = XssdLogFile(device)
+        database = Database(engine, log, group_commit_bytes=2048,
+                            group_commit_timeout_ns=20_000.0)
+        YcsbWorkload.create_schema(database)
+        workload = YcsbWorkload(YcsbConfig(read_fraction=0.2, seed=11))
+        workload.populate(database)
+        done = database.run_worker(workload, transactions=40)
+        engine.run(until=2e9)
+        assert done.triggered
+        expected = dict(database.table("usertable").scan())
+
+        PowerLossInjector(engine, device).power_loss()
+        pages = []
+
+        def reader():
+            destage = device.destage
+            for sequence in range(destage.head_sequence,
+                                  destage.durable_tail):
+                page = yield destage.read_page(sequence)
+                pages.append(page)
+
+        engine.process(reader())
+        engine.run(until=engine.now + 2e9)
+
+        fresh_engine = Engine()
+        recovered = Database(fresh_engine, NoLogFile(fresh_engine))
+        YcsbWorkload.create_schema(recovered)
+        YcsbWorkload(YcsbConfig(seed=11)).populate(recovered)
+        recover_from_pages(recovered, pages)
+        assert dict(recovered.table("usertable").scan()) == expected
+
+
+class TestGcUnderLogLoad:
+    def test_sustained_logging_with_tiny_flash_triggers_gc(self):
+        """The destage ring wraps and GC reclaims dead log blocks."""
+        engine, device = make_stack()
+        # Shrink the destage LBA ring so it wraps quickly.
+        device.destage.lba_ring_blocks = 8
+        log = XssdLogFile(device)
+
+        def proc():
+            for index in range(40):
+                yield log.x_pwrite(f"wave-{index}", 4096)
+            yield log.x_fsync()
+
+        done = engine.process(proc())
+        engine.run(until=2e9)
+        assert done.triggered
+        # The ring wrapped several times: old pages were overwritten.
+        assert device.destage.tail_sequence > 8
+        assert device.destage.head_sequence > 0
+        # Overwrites created dead flash pages; mapping stays injective.
+        table = device.conventional.ftl.table
+        seen = set()
+        for lba in range(8):
+            address = table.lookup(lba)
+            if address is not None:
+                key = (address.channel, address.way, address.block,
+                       address.page)
+                assert key not in seen
+                seen.add(key)
+
+
+class TestDramBackpressureVisibility:
+    def test_dram_slower_than_sram_under_burst(self):
+        def run(kind):
+            engine, device = make_stack(kind)
+            log = XssdLogFile(device)
+            finish = {}
+
+            def proc():
+                for index in range(16):
+                    yield log.x_pwrite(f"burst-{index}", 4096)
+                yield log.x_fsync()
+                finish["t"] = engine.now
+
+            engine.process(proc())
+            engine.run(until=2e9)
+            return finish["t"]
+
+        assert run("dram") > run("sram")
+
+
+class TestAdminReconfigurationLive:
+    def test_latency_threshold_change_applies(self):
+        engine, device = make_stack()
+        from repro.ssd.nvme import AdminOpcode
+
+        def proc():
+            yield device.admin(
+                AdminOpcode.XSSD_CONFIGURE,
+                destage_latency_threshold_ns=123_456.0,
+            )
+
+        engine.process(proc())
+        engine.run(until=10_000_000.0)
+        assert device.destage.latency_threshold_ns == 123_456.0
+
+    def test_update_period_change_applies(self):
+        engine, device = make_stack()
+        from repro.ssd.nvme import AdminOpcode
+
+        def proc():
+            yield device.admin(
+                AdminOpcode.XSSD_CONFIGURE, update_period_ns=1600.0
+            )
+
+        engine.process(proc())
+        engine.run(until=10_000_000.0)
+        assert device.transport.update_period_ns == 1600.0
+
+    def test_unknown_admin_opcode_fails_cleanly(self):
+        engine, device = make_stack()
+        from repro.ssd.nvme import AdminOpcode, NvmeStatus
+
+        results = {}
+
+        def proc():
+            completion = yield device.admin(AdminOpcode.IDENTIFY)
+            results["status"] = completion.status
+
+        engine.process(proc())
+        engine.run(until=10_000_000.0)
+        assert results["status"] is NvmeStatus.MEDIA_ERROR

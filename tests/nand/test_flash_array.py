@@ -1,0 +1,101 @@
+"""Unit tests for flash dies, blocks, pages, and their NAND constraints."""
+
+import pytest
+
+from repro.nand.errors import (
+    BadBlockError,
+    ProgramOrderError,
+    WriteWithoutEraseError,
+)
+from repro.nand.flash_array import Block, FlashDie, Page
+from repro.nand.geometry import Geometry
+from repro.nand.timing import NandTiming
+from repro.sim import Engine
+
+
+def small_geometry():
+    return Geometry(channels=1, ways_per_channel=1, blocks_per_die=4,
+                    pages_per_block=4, page_bytes=512)
+
+
+class TestPage:
+    def test_program_then_read(self):
+        page = Page()
+        page.program("payload", 512)
+        assert page.payload == "payload"
+        assert page.programmed
+
+    def test_double_program_forbidden(self):
+        page = Page()
+        page.program("a", 1)
+        with pytest.raises(WriteWithoutEraseError):
+            page.program("b", 1)
+
+    def test_erase_resets(self):
+        page = Page()
+        page.program("a", 1)
+        page.erase()
+        assert not page.programmed
+        page.program("b", 2)  # reprogrammable after erase
+        assert page.payload == "b"
+
+
+class TestBlock:
+    def test_in_order_programming_enforced(self):
+        block = Block(pages_per_block=4)
+        block.program(0, "p0", 1)
+        with pytest.raises(ProgramOrderError):
+            block.program(2, "p2", 1)
+
+    def test_full_after_all_pages(self):
+        block = Block(pages_per_block=2)
+        block.program(0, "a", 1)
+        assert not block.is_full
+        block.program(1, "b", 1)
+        assert block.is_full
+
+    def test_erase_allows_reprogramming_and_counts(self):
+        block = Block(pages_per_block=2)
+        block.program(0, "a", 1)
+        block.erase()
+        assert block.erase_count == 1
+        block.program(0, "again", 1)
+        assert block.read(0).payload == "again"
+
+    def test_bad_block_refuses_everything(self):
+        block = Block(pages_per_block=2)
+        block.mark_bad()
+        with pytest.raises(BadBlockError):
+            block.program(0, "a", 1)
+        with pytest.raises(BadBlockError):
+            block.read(0)
+        with pytest.raises(BadBlockError):
+            block.erase()
+
+
+class TestFlashDie:
+    def test_program_and_read_back(self):
+        engine = Engine()
+        die = FlashDie(engine, small_geometry(), NandTiming(), 0, 0)
+        die.program_page(1, 0, "hello", 512)
+        page = die.read_page(1, 0)
+        assert page.payload == "hello"
+        assert die.programs == 1
+        assert die.reads == 1
+
+    def test_idle_tracking(self):
+        engine = Engine()
+        die = FlashDie(engine, small_geometry(), NandTiming(), 0, 0)
+        assert die.is_idle
+        die.busy.request()
+        assert not die.is_idle
+        die.busy.release()
+        assert die.is_idle
+
+    def test_erase_block_resets_pages(self):
+        engine = Engine()
+        die = FlashDie(engine, small_geometry(), NandTiming(), 0, 0)
+        die.program_page(0, 0, "x", 512)
+        die.erase_block(0)
+        assert not die.read_page(0, 0).programmed
+        assert die.erases == 1

@@ -1,0 +1,82 @@
+"""Unit tests for flash geometry and addressing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nand.geometry import Geometry, PhysicalPageAddress
+
+
+def test_default_geometry_matches_cosmos_shape():
+    geom = Geometry()
+    assert geom.channels == 8
+    assert geom.ways_per_channel == 8
+    assert geom.dies == 64
+    assert geom.page_bytes == 16 * 1024
+
+
+def test_capacity_computation():
+    geom = Geometry(channels=2, ways_per_channel=2, blocks_per_die=4,
+                    pages_per_block=8, page_bytes=1024)
+    assert geom.total_pages == 2 * 2 * 4 * 8
+    assert geom.capacity_bytes == geom.total_pages * 1024
+
+
+def test_invalid_dimension_rejected():
+    with pytest.raises(ValueError):
+        Geometry(channels=0)
+
+
+def test_validate_rejects_out_of_range():
+    geom = Geometry(channels=2, ways_per_channel=2, blocks_per_die=4,
+                    pages_per_block=8)
+    with pytest.raises(ValueError):
+        geom.validate(PhysicalPageAddress(2, 0, 0, 0))
+    with pytest.raises(ValueError):
+        geom.validate(PhysicalPageAddress(0, 0, 0, 8))
+
+
+def test_page_index_roundtrip_corners():
+    geom = Geometry(channels=2, ways_per_channel=3, blocks_per_die=4,
+                    pages_per_block=5)
+    first = PhysicalPageAddress(0, 0, 0, 0)
+    last = PhysicalPageAddress(1, 2, 3, 4)
+    assert geom.page_index(first) == 0
+    assert geom.page_index(last) == geom.total_pages - 1
+    assert geom.address_of(geom.total_pages - 1) == last
+
+
+@given(index=st.integers(min_value=0))
+def test_page_index_roundtrip_property(index):
+    geom = Geometry(channels=2, ways_per_channel=2, blocks_per_die=8,
+                    pages_per_block=16)
+    index %= geom.total_pages
+    assert geom.page_index(geom.address_of(index)) == index
+
+
+@given(
+    channel=st.integers(0, 1),
+    way=st.integers(0, 1),
+    block=st.integers(0, 7),
+    page=st.integers(0, 15),
+)
+def test_address_roundtrip_property(channel, way, block, page):
+    geom = Geometry(channels=2, ways_per_channel=2, blocks_per_die=8,
+                    pages_per_block=16)
+    address = PhysicalPageAddress(channel, way, block, page)
+    assert geom.address_of(geom.page_index(address)) == address
+
+
+def test_page_index_is_injective_over_small_array():
+    geom = Geometry(channels=2, ways_per_channel=2, blocks_per_die=2,
+                    pages_per_block=3)
+    seen = set()
+    for channel in range(2):
+        for way in range(2):
+            for block in range(2):
+                for page in range(3):
+                    idx = geom.page_index(
+                        PhysicalPageAddress(channel, way, block, page)
+                    )
+                    assert idx not in seen
+                    seen.add(idx)
+    assert seen == set(range(geom.total_pages))

@@ -1,0 +1,146 @@
+"""Unit tests for MMIO regions and write-combining behavior."""
+
+import pytest
+
+from repro.pcie.link import PcieLink
+from repro.pcie.mmio import (
+    CachePolicy,
+    MAX_UC_STORE_BYTES,
+    MmioRegion,
+    WC_BUFFER_BYTES,
+    WriteCombiningBuffer,
+)
+from repro.sim import Engine
+
+
+def make_region(policy, size=4096):
+    engine = Engine()
+    link = PcieLink(engine, lanes=4, gen=2)
+    region = MmioRegion(engine, link, size=size, policy=policy)
+    return engine, link, region
+
+
+class TestWriteCombiningBuffer:
+    def test_sequential_stores_coalesce_into_one_tlp(self):
+        buffer = WriteCombiningBuffer()
+        emitted = []
+        for offset in range(0, WC_BUFFER_BYTES, 8):
+            emitted.extend(buffer.add(offset, 8))
+        assert len(emitted) == 1
+        assert emitted[0].payload == WC_BUFFER_BYTES
+        assert emitted[0].address == 0
+
+    def test_non_contiguous_store_flushes_previous_run(self):
+        buffer = WriteCombiningBuffer()
+        assert buffer.add(0, 8) == []
+        emitted = buffer.add(100, 8)
+        assert len(emitted) == 1
+        assert emitted[0].payload == 8
+        assert emitted[0].address == 0
+
+    def test_flush_on_empty_buffer_is_noop(self):
+        assert WriteCombiningBuffer().flush() == []
+
+    def test_large_store_emits_full_buffers(self):
+        buffer = WriteCombiningBuffer()
+        emitted = buffer.add(0, 3 * WC_BUFFER_BYTES)
+        assert [t.payload for t in emitted] == [WC_BUFFER_BYTES] * 3
+
+    def test_partial_tail_stays_buffered(self):
+        buffer = WriteCombiningBuffer()
+        emitted = buffer.add(0, WC_BUFFER_BYTES + 10)
+        assert [t.payload for t in emitted] == [WC_BUFFER_BYTES]
+        assert buffer.filled == 10
+
+
+class TestMmioRegion:
+    def test_uc_store_splits_into_register_sized_tlps(self):
+        engine, link, region = make_region(CachePolicy.UNCACHED)
+        seen = []
+        region.on_write(lambda tlp: seen.append(tlp.payload))
+
+        def proc():
+            yield region.store(0, 64)
+
+        engine.process(proc())
+        engine.run()
+        assert seen == [MAX_UC_STORE_BYTES] * (64 // MAX_UC_STORE_BYTES)
+
+    def test_wc_store_of_buffer_size_is_one_tlp(self):
+        engine, link, region = make_region(CachePolicy.WRITE_COMBINING)
+        seen = []
+        region.on_write(lambda tlp: seen.append(tlp.payload))
+
+        def proc():
+            yield region.store(0, WC_BUFFER_BYTES)
+
+        engine.process(proc())
+        engine.run()
+        assert seen == [WC_BUFFER_BYTES]
+
+    def test_wc_partial_store_needs_fence_to_emit(self):
+        engine, link, region = make_region(CachePolicy.WRITE_COMBINING)
+        seen = []
+        region.on_write(lambda tlp: seen.append(tlp.payload))
+
+        def proc():
+            yield region.store(0, 16)
+            assert seen == []
+            yield region.fence()
+
+        engine.process(proc())
+        engine.run()
+        assert seen == [16]
+
+    def test_store_outside_region_rejected(self):
+        engine, link, region = make_region(CachePolicy.UNCACHED, size=128)
+        with pytest.raises(ValueError):
+            region.store(120, 16)
+
+    def test_wc_is_fewer_tlps_than_uc_for_same_bytes(self):
+        total = 1024
+        engine_uc, _, uc = make_region(CachePolicy.UNCACHED)
+        engine_wc, _, wc = make_region(CachePolicy.WRITE_COMBINING)
+
+        def write_all(engine, region):
+            def proc():
+                for offset in range(0, total, 8):
+                    yield region.store(offset, 8)
+                yield region.fence()
+
+            engine.process(proc())
+            engine.run()
+
+        write_all(engine_uc, uc)
+        write_all(engine_wc, wc)
+        assert wc.tlps_emitted * 8 == uc.tlps_emitted  # 64B vs 8B per TLP
+
+    def test_wc_throughput_beats_uc(self):
+        """The Fig. 10 mechanism: same bytes, fewer packets, faster."""
+        total = 64 * 1024
+
+        def run(policy):
+            engine, _, region = make_region(policy, size=total)
+
+            def proc():
+                for offset in range(0, total, 8):
+                    yield region.store(offset, 8)
+                yield region.fence()
+
+            engine.process(proc())
+            return engine.run()
+
+        assert run(CachePolicy.WRITE_COMBINING) < run(CachePolicy.UNCACHED)
+
+    def test_load_round_trip_takes_two_link_crossings(self):
+        engine, link, region = make_region(CachePolicy.UNCACHED)
+        finished = []
+
+        def proc():
+            yield region.load(8)
+            finished.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        # Two propagation delays (down + up) at minimum.
+        assert finished[0] >= 2 * link.downstream.latency

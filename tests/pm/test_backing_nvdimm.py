@@ -1,0 +1,140 @@
+"""Tests for the PM models: CMB backing memories and host NVDIMM."""
+
+import pytest
+
+from repro.pm.backing import BackingMemory, dram_backing, sram_backing
+from repro.pm.nvdimm import Nvdimm
+from repro.sim import Engine
+from repro.sim.resources import BandwidthPipe
+
+
+class TestBackingMemory:
+    def test_write_takes_port_time(self):
+        engine = Engine()
+        memory = BackingMemory(engine, "m", capacity=1 << 20,
+                               bandwidth=2.0, access_latency_ns=50.0)
+        done = []
+
+        def proc():
+            yield memory.write(1000)
+            done.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert done == [pytest.approx(1000 / 2.0 + 50.0)]
+
+    def test_reads_and_writes_share_the_port(self):
+        engine = Engine()
+        memory = BackingMemory(engine, "m", capacity=1 << 20,
+                               bandwidth=1.0, access_latency_ns=0.0)
+        finished = {}
+
+        def writer():
+            yield memory.write(500)
+            finished["write"] = engine.now
+
+        def reader():
+            yield memory.read(500)
+            finished["read"] = engine.now
+
+        engine.process(writer())
+        engine.process(reader())
+        engine.run()
+        # Serialized on one port: the second transfer ends at 1000.
+        assert max(finished.values()) == pytest.approx(1000.0)
+
+    def test_shared_port_injection(self):
+        engine = Engine()
+        shared = BandwidthPipe(engine, 1.0, name="shared")
+        memory = BackingMemory(engine, "m", capacity=1 << 20,
+                               bandwidth=99.0, access_latency_ns=0.0,
+                               shared_port=shared)
+        assert memory.port is shared
+
+    def test_byte_accounting(self):
+        engine = Engine()
+        memory = sram_backing(engine)
+
+        def proc():
+            yield memory.write(100)
+            yield memory.read(40)
+
+        engine.process(proc())
+        engine.run()
+        assert memory.bytes_written == 100
+        assert memory.bytes_read == 40
+
+    def test_invalid_sizes_rejected(self):
+        engine = Engine()
+        memory = sram_backing(engine)
+        with pytest.raises(ValueError):
+            memory.write(-1)
+        with pytest.raises(ValueError):
+            memory.read(-1)
+        with pytest.raises(ValueError):
+            BackingMemory(engine, "bad", capacity=0, bandwidth=1.0,
+                          access_latency_ns=0.0)
+
+    def test_sram_faster_than_dram(self):
+        engine = Engine()
+        sram = sram_backing(engine)
+        dram = dram_backing(engine)
+        assert sram.port.bandwidth > dram.port.bandwidth
+
+    def test_capacities_match_the_prototype(self):
+        engine = Engine()
+        assert sram_backing(engine).capacity == 128 * 1024
+        assert dram_backing(engine).capacity == 128 * 1024 * 1024
+
+
+class TestNvdimm:
+    def test_persist_includes_flush_cost(self):
+        engine = Engine()
+        nvdimm = Nvdimm(engine, capacity=1 << 30, bandwidth=10.0,
+                        flush_ns=150.0)
+        done = []
+
+        def proc():
+            yield nvdimm.persist(1000)
+            done.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert done == [pytest.approx(100.0 + 150.0)]
+
+    def test_persist_is_submicrosecond_for_log_records(self):
+        """The 'Memory' baseline's defining property."""
+        engine = Engine()
+        nvdimm = Nvdimm(engine, capacity=1 << 30)
+        done = []
+
+        def proc():
+            yield nvdimm.persist(256)
+            done.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert done[0] < 1_000.0
+
+    def test_read_for_host_managed_destage(self):
+        engine = Engine()
+        nvdimm = Nvdimm(engine, capacity=1 << 30)
+        moved = []
+
+        def proc():
+            value = yield nvdimm.read(4096)
+            moved.append(value)
+
+        engine.process(proc())
+        engine.run()
+        assert moved == [4096]
+
+    def test_invalid_parameters_rejected(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            Nvdimm(engine, capacity=0)
+        nvdimm = Nvdimm(engine, capacity=1024)
+        with pytest.raises(ValueError):
+            nvdimm.persist(-1)
+        with pytest.raises(ValueError):
+            nvdimm.read(-1)

@@ -1,0 +1,149 @@
+"""Tests for the data buffer and NVMe queue plumbing."""
+
+import pytest
+
+from repro.sim import Engine
+from repro.ssd.data_buffer import DataBuffer
+from repro.ssd.nvme import (
+    CompletionQueue,
+    NvmeCommand,
+    NvmeCompletion,
+    Opcode,
+    SubmissionQueue,
+)
+
+
+class TestDataBuffer:
+    def test_insert_and_lookup(self):
+        engine = Engine()
+        buffer = DataBuffer(engine, capacity_bytes=8192)
+
+        def proc():
+            yield buffer.insert(1, "payload", 4096)
+
+        engine.process(proc())
+        engine.run()
+        assert buffer.lookup(1) == ("payload", 4096)
+        assert buffer.used_bytes == 4096
+
+    def test_miss_counts(self):
+        engine = Engine()
+        buffer = DataBuffer(engine, capacity_bytes=8192)
+        assert buffer.lookup(42) is None
+        assert buffer.misses == 1
+
+    def test_evict_frees_space(self):
+        engine = Engine()
+        buffer = DataBuffer(engine, capacity_bytes=4096)
+
+        def proc():
+            yield buffer.insert(1, "a", 4096)
+
+        engine.process(proc())
+        engine.run()
+        buffer.evict(1)
+        assert buffer.used_bytes == 0
+        assert 1 not in buffer
+
+    def test_full_buffer_backpressures_insert(self):
+        engine = Engine()
+        buffer = DataBuffer(engine, capacity_bytes=4096)
+        timeline = []
+
+        def producer():
+            yield buffer.insert(1, "a", 4096)
+            timeline.append(("first", engine.now))
+            yield buffer.insert(2, "b", 4096)
+            timeline.append(("second", engine.now))
+
+        def evictor():
+            yield engine.timeout(10_000.0)
+            buffer.evict(1)
+
+        engine.process(producer())
+        engine.process(evictor())
+        engine.run()
+        assert timeline[1][1] >= 10_000.0
+
+    def test_overwrite_reuses_reservation(self):
+        engine = Engine()
+        buffer = DataBuffer(engine, capacity_bytes=4096)
+
+        def proc():
+            yield buffer.insert(1, "v1", 4096)
+            yield buffer.insert(1, "v2", 4096)  # must not deadlock
+
+        done = engine.process(proc())
+        engine.run()
+        assert done.triggered
+        assert buffer.lookup(1) == ("v2", 4096)
+
+    def test_negative_size_rejected(self):
+        engine = Engine()
+        buffer = DataBuffer(engine, capacity_bytes=4096)
+        with pytest.raises(ValueError):
+            buffer.insert(1, "x", -1)
+
+
+class TestNvmeQueues:
+    def test_submit_and_fetch(self):
+        engine = Engine()
+        sq = SubmissionQueue(engine)
+        fetched = []
+
+        def device():
+            command = yield sq.fetch()
+            fetched.append(command.lba)
+
+        engine.process(device())
+        sq.submit(NvmeCommand(Opcode.WRITE, lba=7, nblocks=1))
+        engine.run()
+        assert fetched == [7]
+
+    def test_queue_depth_backpressure(self):
+        engine = Engine()
+        sq = SubmissionQueue(engine, depth=1)
+        accepted = []
+
+        def host():
+            yield sq.submit(NvmeCommand(Opcode.WRITE, lba=1))
+            accepted.append(engine.now)
+            yield sq.submit(NvmeCommand(Opcode.WRITE, lba=2))
+            accepted.append(engine.now)
+
+        def device():
+            yield engine.timeout(5_000.0)
+            yield sq.fetch()
+
+        engine.process(host())
+        engine.process(device())
+        engine.run()
+        assert accepted[0] == 0.0
+        assert accepted[1] >= 5_000.0
+
+    def test_completion_delivered_after_interrupt_latency(self):
+        engine = Engine()
+        cq = CompletionQueue(engine)
+        got = []
+
+        def host():
+            completion = yield cq.expect(17)
+            got.append((engine.now, completion.command_id))
+
+        engine.process(host())
+        cq.post(NvmeCompletion(17))
+        engine.run()
+        assert got == [(CompletionQueue.INTERRUPT_NS, 17)]
+
+    def test_duplicate_expect_rejected(self):
+        engine = Engine()
+        cq = CompletionQueue(engine)
+        cq.expect(1)
+        with pytest.raises(ValueError):
+            cq.expect(1)
+
+    def test_unexpected_completion_is_dropped(self):
+        engine = Engine()
+        cq = CompletionQueue(engine)
+        cq.post(NvmeCompletion(99))
+        engine.run()  # no waiter: must not raise

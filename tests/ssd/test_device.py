@@ -1,0 +1,172 @@
+"""Integration tests for the assembled conventional SSD."""
+
+import pytest
+
+from repro.nand.ecc import ProgramFaultModel
+from repro.nand.geometry import Geometry
+from repro.nand.timing import NandTiming
+from repro.sim import Engine
+from repro.ssd.device import ConventionalSsd, SsdConfig
+from repro.ssd.nvme import NvmeStatus
+
+
+def small_config(**overrides):
+    base = dict(
+        geometry=Geometry(channels=2, ways_per_channel=2, blocks_per_die=8,
+                          pages_per_block=8, page_bytes=4096),
+        timing=NandTiming(t_program=100_000.0, t_read=10_000.0,
+                          t_erase=500_000.0, bus_bandwidth=0.4),
+        data_buffer_bytes=64 * 1024,
+    )
+    base.update(overrides)
+    return SsdConfig(**base)
+
+
+def make_ssd(**overrides):
+    engine = Engine()
+    ssd = ConventionalSsd(engine, small_config(**overrides)).start()
+    return engine, ssd
+
+
+def test_write_completes_with_success():
+    engine, ssd = make_ssd()
+    results = []
+
+    def proc():
+        completion = yield ssd.write(0, "log-block-0")
+        results.append(completion.status)
+
+    engine.process(proc())
+    engine.run()
+    assert results == [NvmeStatus.SUCCESS]
+
+
+def test_read_after_write_roundtrip():
+    engine, ssd = make_ssd()
+    results = []
+
+    def proc():
+        yield ssd.write(3, "payload-at-3")
+        completion = yield ssd.read(3)
+        results.append(completion.result)
+
+    engine.process(proc())
+    engine.run()
+    assert results == ["payload-at-3"]
+
+
+def test_write_latency_dominated_by_flash_program():
+    engine, ssd = make_ssd()
+    latencies = []
+
+    def proc():
+        start = engine.now
+        yield ssd.write(0, "x")
+        latencies.append(engine.now - start)
+
+    engine.process(proc())
+    engine.run()
+    # Must include at least one full tPROG plus protocol overheads.
+    assert latencies[0] > 100_000.0
+    # And stay within an order of magnitude of it.
+    assert latencies[0] < 10 * 100_000.0
+
+
+def test_writes_ack_only_after_durable():
+    """The conventional side has no power-protected cache: ack == on flash."""
+    engine, ssd = make_ssd()
+
+    def proc():
+        yield ssd.write(9, "durable")
+
+    engine.process(proc())
+    engine.run()
+    # The data must be on flash, not merely staged in the buffer.
+    assert ssd.ftl.table.lookup(9) is not None
+    assert 9 not in ssd.data_buffer
+
+
+def test_parallel_writes_scale_with_dies():
+    engine, ssd = make_ssd()
+    finished = []
+
+    def writer(lba):
+        yield ssd.write(lba, f"block-{lba}")
+        finished.append(engine.now)
+
+    for lba in range(4):
+        engine.process(writer(lba))
+    engine.run()
+    sequential_floor = 4 * 100_000.0
+    assert max(finished) < sequential_floor
+
+
+def test_read_miss_hits_flash_timing():
+    engine, ssd = make_ssd()
+    times = {}
+
+    def proc():
+        yield ssd.write(1, "cold")
+        start = engine.now
+        yield ssd.read(1)
+        times["latency"] = engine.now - start
+
+    engine.process(proc())
+    engine.run()
+    assert times["latency"] > 10_000.0  # at least tR
+
+
+def test_flush_covers_staged_writes_only():
+    """NVMe FLUSH drains what the device accepted; after a completed write
+    there is nothing dirty left, so flush returns promptly."""
+    engine, ssd = make_ssd()
+    results = []
+
+    def proc():
+        yield ssd.write(5, "w")
+        assert 5 not in ssd.data_buffer  # already durable
+        start = engine.now
+        completion = yield ssd.flush()
+        results.append((completion.result, engine.now - start))
+
+    engine.process(proc())
+    engine.run()
+    drained, latency = results[0]
+    assert drained == 0
+    assert latency < 50_000.0  # protocol cost only, no flash program
+
+
+def test_program_fault_surfaces_as_retry_not_error():
+    fault = ProgramFaultModel()
+    fault.force_failure_at(0, 0, 0)
+    engine, ssd = make_ssd(program_fault_model=fault)
+    results = []
+
+    def proc():
+        completion = yield ssd.write(0, "resilient")
+        results.append(completion.status)
+
+    engine.process(proc())
+    engine.run()
+    assert results == [NvmeStatus.SUCCESS]
+    assert ssd.ftl.program_failures == 1
+
+
+def test_bandwidth_ceiling_positive_and_bus_bounded():
+    engine, ssd = make_ssd()
+    ceiling = ssd.write_bandwidth_ceiling()
+    assert ceiling > 0
+    assert ceiling <= ssd.config.timing.bus_bandwidth * 2  # 2 channels
+
+
+def test_device_must_be_started_before_use():
+    engine = Engine()
+    ssd = ConventionalSsd(engine, small_config())
+    with pytest.raises(RuntimeError):
+        ssd.write(0, "nope")
+
+
+def test_double_start_rejected():
+    engine, ssd = make_ssd()
+    with pytest.raises(RuntimeError):
+        ssd.start()

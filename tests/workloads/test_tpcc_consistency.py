@@ -1,0 +1,103 @@
+"""TPC-C semantic consistency checks over committed state.
+
+The generator is not a spec-compliant implementation (see
+workloads/tpcc.py), but the invariants that make its *log footprint*
+realistic must hold: payments accumulate into warehouse/district/customer
+balances consistently, new orders advance the district order counter,
+and order lines always accompany their order.
+"""
+
+import pytest
+
+from repro.db.engine import Database
+from repro.host.baselines import NoLogFile
+from repro.sim import Engine
+from repro.workloads.tpcc import (
+    DISTRICTS_PER_WAREHOUSE,
+    TpccConfig,
+    TpccWorkload,
+)
+
+
+def run_workload(transactions=120, seed=3):
+    engine = Engine()
+    database = Database(engine, NoLogFile(engine),
+                        group_commit_timeout_ns=1_000.0)
+    TpccWorkload.create_schema(database)
+    workload = TpccWorkload(TpccConfig(seed=seed))
+    workload.populate(database)
+    done = database.run_worker(workload, transactions=transactions)
+    engine.run(until=10e9)
+    assert done.triggered
+    return database, workload
+
+
+def test_warehouse_ytd_equals_district_ytd_sum():
+    """Payments add the same amount to the warehouse and its district."""
+    database, workload = run_workload()
+    warehouse = workload.home_warehouse
+    warehouse_row = database.table("warehouse").get(warehouse)
+    district_sum = sum(
+        (database.table("district").get((warehouse, d)) or {"ytd": 0.0})
+        ["ytd"]
+        for d in range(1, DISTRICTS_PER_WAREHOUSE + 1)
+    )
+    assert warehouse_row["ytd"] == pytest.approx(district_sum)
+
+
+def test_customer_balance_matches_payment_history():
+    """Sum of history amounts equals total ytd_payment across customers."""
+    database, workload = run_workload()
+    history_total = sum(
+        row["amount"] for _key, row in database.table("history").scan()
+    )
+    payments_total = sum(
+        row["ytd_payment"]
+        for _key, row in database.table("customer").scan()
+    )
+    assert payments_total == pytest.approx(history_total)
+
+
+def test_every_order_has_its_order_lines():
+    database, workload = run_workload()
+    orders = dict(database.table("orders").scan())
+    order_lines = dict(database.table("order_line").scan())
+    for (warehouse, district, order_id), order in orders.items():
+        lines = [
+            key for key in order_lines
+            if key[:3] == (warehouse, district, order_id)
+        ]
+        assert len(lines) == order["lines"], (warehouse, district, order_id)
+
+
+def test_district_next_order_id_advances_monotonically():
+    database, workload = run_workload()
+    new_orders = workload.generated["new_order"]
+    total_advance = sum(
+        row["next_o_id"] - 3001
+        for _key, row in database.table("district").scan()
+        if row["next_o_id"] > 3001
+    )
+    assert total_advance == new_orders
+
+
+def test_delivery_clears_new_order_entries():
+    database, workload = run_workload(transactions=300)
+    # Every order with a carrier must have left the new_orders table.
+    for (warehouse, district, order_id), order in (
+        database.table("orders").scan()
+    ):
+        if order.get("carrier") is not None:
+            assert (
+                database.table("new_orders").get(
+                    (warehouse, district, order_id)
+                )
+                is None
+            )
+
+
+def test_stock_quantity_stays_in_business_range():
+    """The replenish rule keeps stock positive and bounded."""
+    database, workload = run_workload(transactions=300)
+    for _key, row in database.table("stock").scan():
+        assert 0 <= row["quantity"] <= 200
