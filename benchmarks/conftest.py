@@ -10,6 +10,14 @@ deterministic, so repetition adds nothing.
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under ``benchmarks/`` is a full-figure run: mark it slow
+    so ``pytest -m 'not slow'`` (and the tier-1 default ``testpaths``) stay
+    fast."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture
 def run_once(benchmark):
     """Run ``fn`` exactly once under pytest-benchmark; return its result."""

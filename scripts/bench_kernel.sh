@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Run the DES kernel microbenchmark and record the result at the repo root.
+#
+# Usage: scripts/bench_kernel.sh [extra args for `repro.bench kernel`]
+#
+# Writes BENCH_kernel.json (events/sec per workload for the current kernel
+# and the frozen seed-kernel replica, plus the speedup ratio) so the perf
+# trajectory is tracked across PRs.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m repro.bench kernel --json BENCH_kernel.json "$@"
+echo "wrote $repo_root/BENCH_kernel.json"

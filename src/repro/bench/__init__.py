@@ -8,6 +8,8 @@ them directly.
 """
 
 from repro.bench.reporting import format_series, format_table
+from repro.bench.parallel import run_cells
+from repro.bench.kernel import run_kernel_bench
 from repro.bench.fig09_local_logging import run_fig09
 from repro.bench.fig10_write_combining import run_fig10
 from repro.bench.fig11_queue_size import run_fig11
@@ -17,6 +19,8 @@ from repro.bench.fig13_replication_delay import run_fig13
 __all__ = [
     "format_table",
     "format_series",
+    "run_cells",
+    "run_kernel_bench",
     "run_fig09",
     "run_fig10",
     "run_fig11",

@@ -3,17 +3,25 @@
 Usage::
 
     python -m repro.bench fig09 [--txns 150] [--workers 1 2 4 8]
-    python -m repro.bench fig10
-    python -m repro.bench fig11
-    python -m repro.bench fig12
-    python -m repro.bench fig13
+    python -m repro.bench fig10 [--total-kib 256]
+    python -m repro.bench fig11 [--writes 64]
+    python -m repro.bench fig12 [--duration-ms 40]
+    python -m repro.bench fig13 [--periods 0.4 0.8 1.2 1.6] [--writes 200]
     python -m repro.bench all
+    python -m repro.bench kernel [--events 200000] [--repeat 3]
+
+Every subcommand accepts ``--jobs N`` (fan the figure's independent cells
+over N worker processes; 0 = one per core) and ``--json PATH`` (also write
+the structured rows as JSON, e.g. ``BENCH_fig09.json``).  Figure-specific
+flags live on their own subparser, so a flag that a figure does not
+understand is an error instead of being silently ignored.
 
 Prints the same tables the pytest benchmarks print, without requiring
 pytest — handy for quick sweeps with custom parameters.
 """
 
 import argparse
+import json
 import sys
 
 from repro.bench import (
@@ -24,12 +32,21 @@ from repro.bench import (
     run_fig11,
     run_fig12,
     run_fig13,
+    run_kernel_bench,
 )
+from repro.sim.units import KIB
+
+
+def _jobs(args):
+    return getattr(args, "jobs", None)
 
 
 def _fig09(args):
-    rows = run_fig09(worker_counts=tuple(args.workers),
-                     transactions_per_worker=args.txns)
+    rows = run_fig09(
+        worker_counts=tuple(getattr(args, "workers", None) or (1, 2, 4, 8)),
+        transactions_per_worker=getattr(args, "txns", 150),
+        jobs=_jobs(args),
+    )
     print(format_table(rows, (
         ("setup", "setup", ""),
         ("workers", "workers", "d"),
@@ -40,10 +57,14 @@ def _fig09(args):
     print(format_series(rows, "workers", "mean_latency_us", "setup"))
     print("throughput series [ktxn/s]:")
     print(format_series(rows, "workers", "throughput_ktps", "setup"))
+    return rows
 
 
 def _fig10(args):
-    rows = run_fig10()
+    rows = run_fig10(
+        total_bytes=getattr(args, "total_kib", 256) * KIB,
+        jobs=_jobs(args),
+    )
     print(format_table(rows, (
         ("backing", "backing", ""),
         ("policy", "policy", ""),
@@ -51,10 +72,11 @@ def _fig10(args):
         ("throughput_bytes_per_ns", "throughput [GB/s]", ".3f"),
         ("normalized", "normalized", ".3f"),
     ), title="Fig. 10 — write combining"))
+    return rows
 
 
 def _fig11(args):
-    rows = run_fig11()
+    rows = run_fig11(writes=getattr(args, "writes", 64), jobs=_jobs(args))
     print(format_table(rows, (
         ("queue_kib", "queue [KiB]", "d"),
         ("group_kib", "group [KiB]", "d"),
@@ -62,20 +84,31 @@ def _fig11(args):
         ("throughput_mb_per_s", "throughput [MB/s]", ".0f"),
         ("credit_checks", "checks", "d"),
     ), title="Fig. 11 — group commit x queue size"))
+    return rows
 
 
 def _fig12(args):
-    rows = run_fig12()
+    rows = run_fig12(
+        duration_ns=getattr(args, "duration_ms", 40) * 1e6,
+        jobs=_jobs(args),
+    )
     print(format_table(rows, (
         ("mode", "mode", ""),
         ("fast_offered_pct", "fast offered [%]", ".0f"),
         ("conv_achieved_pct", "conv achieved [%]", ".1f"),
         ("fast_achieved_pct", "fast achieved [%]", ".1f"),
     ), title="Fig. 12 — opportunistic destaging"))
+    return rows
 
 
 def _fig13(args):
-    rows = run_fig13()
+    rows = run_fig13(
+        update_periods_us=tuple(
+            getattr(args, "periods", None) or (0.4, 0.8, 1.2, 1.6)
+        ),
+        writes=getattr(args, "writes", 200),
+        jobs=_jobs(args),
+    )
     print(format_table(rows, (
         ("update_period_us", "period [us]", ".1f"),
         ("latency_low_us", "low [us]", ".2f"),
@@ -84,6 +117,22 @@ def _fig13(args):
         ("latency_spread_us", "spread [us]", ".2f"),
         ("bandwidth_pct", "bandwidth [%]", ".2f"),
     ), title="Fig. 13 — replication delay"))
+    return rows
+
+
+def _kernel(args):
+    rows = run_kernel_bench(
+        events=getattr(args, "events", 200_000),
+        repeat=getattr(args, "repeat", 3),
+    )
+    print(format_table(rows, (
+        ("workload", "workload", ""),
+        ("events", "events", "d"),
+        ("events_per_sec_m", "current [Mev/s]", ".3f"),
+        ("seed_events_per_sec_m", "seed [Mev/s]", ".3f"),
+        ("speedup_vs_seed", "speedup", ".2f"),
+    ), title="Kernel microbenchmark — events/sec vs the seed engine"))
+    return rows
 
 
 FIGURES = {
@@ -95,24 +144,97 @@ FIGURES = {
 }
 
 
-def main(argv=None):
+def _jobs_count(text):
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 0, got {value}")
+    return value
+
+
+def _add_common_flags(sub):
+    sub.add_argument("--jobs", type=_jobs_count, default=None, metavar="N",
+                     help="run the figure's cells over N worker processes "
+                          "(0 = one per core; default: serial)")
+    sub.add_argument("--json", metavar="PATH", default=None,
+                     help="also write the structured rows as JSON to PATH")
+
+
+def build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation figures.",
     )
-    parser.add_argument("figure", choices=[*FIGURES, "all"])
-    parser.add_argument("--txns", type=int, default=150,
-                        help="fig09: transactions per worker")
-    parser.add_argument("--workers", type=int, nargs="+",
-                        default=[1, 2, 4, 8],
-                        help="fig09: worker counts to sweep")
-    args = parser.parse_args(argv)
+    subparsers = parser.add_subparsers(dest="figure", required=True,
+                                       metavar="figure")
+
+    fig09 = subparsers.add_parser(
+        "fig09", help="logging to local storage (latency/throughput)")
+    fig09.add_argument("--txns", type=int, default=150,
+                       help="transactions per worker")
+    fig09.add_argument("--workers", type=int, nargs="+",
+                       default=[1, 2, 4, 8],
+                       help="worker counts to sweep")
+
+    fig10 = subparsers.add_parser(
+        "fig10", help="write combining vs uncached, by write size")
+    fig10.add_argument("--total-kib", type=int, default=256,
+                       help="KiB pushed through the fast side per cell")
+
+    fig11 = subparsers.add_parser(
+        "fig11", help="group-commit size x CMB queue size")
+    fig11.add_argument("--writes", type=int, default=64,
+                       help="group writes per cell")
+
+    fig12 = subparsers.add_parser(
+        "fig12", help="opportunistic destaging under contention")
+    fig12.add_argument("--duration-ms", type=float, default=40,
+                       help="simulated milliseconds per cell")
+
+    fig13 = subparsers.add_parser(
+        "fig13", help="shadow-counter freshness vs update period")
+    fig13.add_argument("--periods", type=float, nargs="+",
+                       default=[0.4, 0.8, 1.2, 1.6],
+                       help="update periods to sweep [us]")
+    fig13.add_argument("--writes", type=int, default=200,
+                       help="measured writes per cell")
+
+    subparsers.add_parser("all", help="every figure with default parameters")
+
+    kernel = subparsers.add_parser(
+        "kernel", help="DES kernel microbenchmark (events/sec vs seed)")
+    kernel.add_argument("--events", type=int, default=200_000,
+                        help="events per workload run")
+    kernel.add_argument("--repeat", type=int, default=3,
+                        help="runs per engine; best rate is kept")
+
+    for sub in (fig09, fig10, fig11, fig12, fig13, kernel,
+                subparsers.choices["all"]):
+        _add_common_flags(sub)
+    return parser
+
+
+def _write_json(path, figure, rows):
+    payload = {"bench": figure, "rows": rows}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    json_path = getattr(args, "json", None)
     if args.figure == "all":
+        all_rows = {}
         for name, runner in FIGURES.items():
-            runner(args)
+            all_rows[name] = runner(args)
             print()
+        if json_path:
+            _write_json(json_path, "all", all_rows)
     else:
-        FIGURES[args.figure](args)
+        runner = _kernel if args.figure == "kernel" else FIGURES[args.figure]
+        rows = runner(args)
+        if json_path:
+            _write_json(json_path, args.figure, rows)
     return 0
 
 

@@ -14,6 +14,7 @@ Expected shape (asserted by the bench):
   memory setups keep scaling with the no-log curve.
 """
 
+from repro.bench.parallel import run_cells
 from repro.bench.stacks import TXN_CPU_NS, build_log_file, build_tpcc_database
 from repro.sim import Engine
 from repro.workloads.tpcc import TpccWorkload
@@ -54,11 +55,22 @@ def run_one(setup, workers, transactions_per_worker=150):
     }
 
 
+def cells(setups=SETUPS, worker_counts=WORKER_COUNTS,
+          transactions_per_worker=150):
+    """The figure's independent cells, in output order."""
+    return [
+        {"setup": setup, "workers": workers,
+         "transactions_per_worker": transactions_per_worker}
+        for setup in setups
+        for workers in worker_counts
+    ]
+
+
 def run_fig09(setups=SETUPS, worker_counts=WORKER_COUNTS,
-              transactions_per_worker=150):
+              transactions_per_worker=150, jobs=None):
     """The full figure: every setup x worker-count cell."""
-    rows = []
-    for setup in setups:
-        for workers in worker_counts:
-            rows.append(run_one(setup, workers, transactions_per_worker))
-    return rows
+    return run_cells(
+        run_one,
+        cells(setups, worker_counts, transactions_per_worker),
+        jobs=jobs,
+    )

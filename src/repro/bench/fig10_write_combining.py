@@ -12,6 +12,7 @@ Expected shape: WC >= UC at every size; SRAM peaks at 64-byte stores
 is the bottleneck, not the link.
 """
 
+from repro.bench.parallel import run_cells
 from repro.core.cmb import CmbModule
 from repro.pcie.link import PcieLink
 from repro.pcie.mmio import CachePolicy, MmioRegion
@@ -75,14 +76,24 @@ def run_one(backing_kind, policy_name, write_bytes, total_bytes=256 * KIB):
     }
 
 
+def cells(write_sizes=WRITE_SIZES, backings=BACKINGS, total_bytes=256 * KIB):
+    """The figure's independent cells, in output order."""
+    return [
+        {"backing_kind": backing, "policy_name": policy,
+         "write_bytes": size, "total_bytes": total_bytes}
+        for backing in backings
+        for policy in POLICIES
+        for size in write_sizes
+    ]
+
+
 def run_fig10(write_sizes=WRITE_SIZES, backings=BACKINGS,
-              total_bytes=256 * KIB):
+              total_bytes=256 * KIB, jobs=None):
     """The full figure, with per-backing normalization to the best cell."""
-    rows = []
+    rows = run_cells(
+        run_one, cells(write_sizes, backings, total_bytes), jobs=jobs
+    )
     for backing in backings:
-        for policy in POLICIES:
-            for size in write_sizes:
-                rows.append(run_one(backing, policy, size, total_bytes))
         best = max(
             row["throughput_bytes_per_ns"]
             for row in rows

@@ -11,6 +11,7 @@ throughput across group-commit sizes (OLTP records stay under ~20 KB, so
 32 KB absorbs a whole group without mid-write credit checks).
 """
 
+from repro.bench.parallel import run_cells
 from repro.bench.stacks import build_villars
 from repro.host.api import XssdLogFile
 from repro.sim import Engine
@@ -59,9 +60,18 @@ def run_one(group_bytes, queue_bytes, writes=64):
     }
 
 
-def run_fig11(group_sizes=GROUP_SIZES, queue_sizes=QUEUE_SIZES, writes=64):
-    rows = []
-    for queue_bytes in queue_sizes:
-        for group_bytes in group_sizes:
-            rows.append(run_one(group_bytes, queue_bytes, writes))
-    return rows
+def cells(group_sizes=GROUP_SIZES, queue_sizes=QUEUE_SIZES, writes=64):
+    """The figure's independent cells, in output order."""
+    return [
+        {"group_bytes": group_bytes, "queue_bytes": queue_bytes,
+         "writes": writes}
+        for queue_bytes in queue_sizes
+        for group_bytes in group_sizes
+    ]
+
+
+def run_fig11(group_sizes=GROUP_SIZES, queue_sizes=QUEUE_SIZES, writes=64,
+              jobs=None):
+    return run_cells(
+        run_one, cells(group_sizes, queue_sizes, writes), jobs=jobs
+    )

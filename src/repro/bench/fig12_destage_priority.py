@@ -12,6 +12,7 @@ saturation shows up as completed-vs-offered shortfall, exactly like the
 figure's y-axis (achieved bandwidth).
 """
 
+from repro.bench.parallel import run_cells
 from repro.bench.stacks import bench_ssd_config
 from repro.sim import Engine
 from repro.ssd.device import ConventionalSsd
@@ -74,10 +75,19 @@ def run_one(mode_name, fast_fraction, conventional_fraction=0.5,
     }
 
 
+def cells(modes=("neutral", "conventional-priority"),
+          fast_fractions=FAST_FRACTIONS, duration_ns=40e6):
+    """The figure's independent cells, in output order."""
+    return [
+        {"mode_name": mode_name, "fast_fraction": fraction,
+         "duration_ns": duration_ns}
+        for mode_name in modes
+        for fraction in fast_fractions
+    ]
+
+
 def run_fig12(modes=("neutral", "conventional-priority"),
-              fast_fractions=FAST_FRACTIONS, duration_ns=40e6):
-    rows = []
-    for mode_name in modes:
-        for fraction in fast_fractions:
-            rows.append(run_one(mode_name, fraction, duration_ns=duration_ns))
-    return rows
+              fast_fractions=FAST_FRACTIONS, duration_ns=40e6, jobs=None):
+    return run_cells(
+        run_one, cells(modes, fast_fractions, duration_ns), jobs=jobs
+    )

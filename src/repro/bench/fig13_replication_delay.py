@@ -13,6 +13,7 @@ uniform in [0, period]); the bandwidth cost falls inversely with the
 period (~2-3% of the link at 0.4 us in the paper's setup).
 """
 
+from repro.bench.parallel import run_cells
 from repro.bench.stacks import bench_ssd_config
 from repro.cluster.topology import replicated_pair
 from repro.core.config import villars_sram
@@ -95,5 +96,13 @@ def run_one(update_period_us, writes=200, write_bytes=64,
     }
 
 
-def run_fig13(update_periods_us=UPDATE_PERIODS_US, writes=200):
-    return [run_one(period, writes) for period in update_periods_us]
+def cells(update_periods_us=UPDATE_PERIODS_US, writes=200):
+    """The figure's independent cells, in output order."""
+    return [
+        {"update_period_us": period, "writes": writes}
+        for period in update_periods_us
+    ]
+
+
+def run_fig13(update_periods_us=UPDATE_PERIODS_US, writes=200, jobs=None):
+    return run_cells(run_one, cells(update_periods_us, writes), jobs=jobs)

@@ -119,12 +119,14 @@ class DestageModule:
                     yield self.engine.process(self._issue_page())
                     waiting_since = None
                     continue
-                # Wait for either more data or the threshold to expire.
+                # Wait for either more data or the threshold to expire; the
+                # losing timer is cancelled so repeated kicks do not pile
+                # dead timeout entries onto the heap.
                 remaining = max(deadline - self.engine.now, min_wait)
                 kick = self._next_kick()
-                yield self.engine.any_of(
-                    [kick, self.engine.timeout(remaining)]
-                )
+                expiry = self.engine.timeout(remaining)
+                yield self.engine.any_of([kick, expiry])
+                expiry.cancel()
                 continue
             waiting_since = None
             yield self._next_kick()

@@ -144,11 +144,12 @@ class LogManager:
                 yield self._next_kick()
                 continue
             if self._pending_bytes < self.group_commit_bytes:
-                # Wait for the group to fill or the timer to expire.
-                yield self.engine.any_of([
-                    self._next_kick(),
-                    self.engine.timeout(self.group_commit_timeout_ns),
-                ])
+                # Wait for the group to fill or the timer to expire; the
+                # losing timer is cancelled so it leaves the heap lazily
+                # instead of firing into a dead callback.
+                expiry = self.engine.timeout(self.group_commit_timeout_ns)
+                yield self.engine.any_of([self._next_kick(), expiry])
+                expiry.cancel()
                 if not self._pending:
                     continue
             batch_records, remainder = self._carve_group()

@@ -1,4 +1,4 @@
-"""The discrete-event engine: clock, event heap, and generator processes.
+"""The discrete-event engine: clock, two-tier event queue, generator processes.
 
 The programming model follows the classic process-interaction style.  A
 *process* is a generator that yields :class:`Event` objects; the engine
@@ -14,9 +14,27 @@ event's value.  Example::
     engine = Engine()
     engine.process(writer(engine, device))
     engine.run()
+
+Scheduling is two-tier.  Events triggered at the *current* instant — by
+``succeed()``/``fail()``, process resumes, and zero-delay timeouts — go on a
+plain FIFO deque (the *immediate queue*) and never touch the heap; only
+future-dated timeouts pay for heap ordering.  Same-instant triggers dominate
+real workloads (every device completion fans out through chains of them), so
+this keeps the hot path at deque-append/popleft cost with no tuple churn and
+no sequence counter.
+
+Global FIFO order at one instant is preserved exactly: a heap entry whose
+time equals the current instant was necessarily pushed at an *earlier*
+instant (the heap only ever holds strictly-future timeouts), so it predates
+everything in the immediate queue and the run loop drains such entries first.
+
+Timeout cancellation is lazy: :meth:`Event.cancel` marks the event and the
+run loop discards it at pop time, so losing a timeout-vs-completion race
+costs O(1) instead of a heap rebuild.
 """
 
 import heapq
+from collections import deque
 from itertools import count
 
 
@@ -39,6 +57,8 @@ class Event:
         "_exception",
         "triggered",
         "_processed",
+        "_cancelled",
+        "_defused",
     )
 
     def __init__(self, engine):
@@ -50,6 +70,12 @@ class Event:
         # True once the engine has popped the event and run its callbacks;
         # a `then()` registered after that point runs at the current instant.
         self._processed = False
+        # Lazily-cancelled events are discarded at pop time instead of being
+        # dug out of the queues.
+        self._cancelled = False
+        # A defused event's failure no longer counts as unhandled (set on
+        # the losers of an AnyOf race when their waiter detaches).
+        self._defused = False
 
     @property
     def value(self):
@@ -60,30 +86,62 @@ class Event:
         return self._value
 
     def succeed(self, value=None):
-        """Trigger the event immediately with ``value``."""
+        """Trigger the event immediately with ``value``.
+
+        On a cancelled event this is a no-op, so the losing side of a
+        cancellation race does not need its own guard.
+        """
+        if self._cancelled:
+            return self
         if self.triggered:
             raise SimulationError("event triggered twice")
         self.triggered = True
         self._value = value
-        self.engine._push_triggered(self)
+        self.engine._immediate.append(self)
         return self
 
     def fail(self, exception):
         """Trigger the event with an exception to re-raise in waiters."""
+        if self._cancelled:
+            return self
         if self.triggered:
             raise SimulationError("event triggered twice")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
         self.triggered = True
         self._exception = exception
-        self.engine._push_triggered(self)
+        self.engine._immediate.append(self)
         return self
+
+    def cancel(self):
+        """Withdraw the event: its callbacks will never run.
+
+        Pending events stop accepting ``succeed()``/``fail()``; already
+        triggered but not yet processed events are dropped lazily when the
+        run loop reaches them (a cancelled timeout costs O(1), no heap
+        surgery).  Cancelling an already-processed event is a no-op.  The
+        caller is responsible for not leaving a process waiting forever on
+        a cancelled event — cancel only events whose outcome nobody awaits
+        anymore, e.g. the loser of a timeout-vs-completion race.
+        """
+        if self._processed:
+            return self
+        self._cancelled = True
+        self.callbacks.clear()
+        return self
+
+    @property
+    def cancelled(self):
+        return self._cancelled
 
     def then(self, callback):
         """Register ``callback(event)`` to run when the event triggers."""
+        if self._cancelled:
+            return self
         if self._processed:
             # Callbacks already ran: run this one at the current instant via
-            # the heap so ordering relative to same-time callbacks stays FIFO.
+            # the immediate queue so ordering relative to same-time
+            # callbacks stays FIFO.
             holder = Event(self.engine)
             holder.callbacks.append(lambda _ev: callback(self))
             holder.succeed()
@@ -104,7 +162,11 @@ class Timeout(Event):
         self.delay = delay
         self.triggered = True
         self._value = value
-        engine._push_at(engine.now + delay, self)
+        if delay == 0:
+            # Zero-delay timeouts fire at the current instant: fast path.
+            engine._immediate.append(self)
+        else:
+            engine._push_at(engine._now + delay, self)
 
 
 class Process(Event):
@@ -177,30 +239,54 @@ class AllOf(Event):
 
 
 class AnyOf(Event):
-    """Triggers when the first of ``events`` triggers; value is that event."""
+    """Triggers when the first of ``events`` triggers; value is that event.
 
-    __slots__ = ()
+    When the first child fires, the remaining children are *detached*: the
+    AnyOf's callback is removed from them and they are defused, so losing
+    events carry no dead callback work and a loser that later fails is not
+    treated as an unhandled fault (the race was already decided).
+    """
+
+    __slots__ = ("_children",)
 
     def __init__(self, engine, events):
         super().__init__(engine)
-        for event in events:
+        self._children = list(events)
+        for event in self._children:
             event.then(self._on_child)
 
     def _on_child(self, event):
-        if not self.triggered:
-            self.succeed(event)
+        if self.triggered:
+            return
+        self.succeed(event)
+        on_child = self._on_child
+        for child in self._children:
+            if child is event:
+                continue
+            child._defused = True
+            try:
+                child.callbacks.remove(on_child)
+            except ValueError:
+                # Already processed (same-instant tie) or cancelled; either
+                # way there is nothing left to detach.
+                pass
+        self._children = ()
 
 
 class Engine:
     """Owns the simulated clock and runs events in time order.
 
-    Determinism: the heap orders by ``(time, sequence)`` where sequence is a
-    global insertion counter, so same-time events fire in FIFO order and a
-    run is exactly reproducible.
+    Determinism: same-instant events fire in strict FIFO trigger order (the
+    immediate deque preserves it directly; heap ties break on a
+    monotonically increasing sequence number), so a run is exactly
+    reproducible.
     """
 
     def __init__(self):
         self._now = 0.0
+        # Tier 1: events triggered at the current instant, FIFO.
+        self._immediate = deque()
+        # Tier 2: strictly-future timeouts, ordered by (time, sequence).
         self._heap = []
         self._sequence = count()
 
@@ -237,39 +323,92 @@ class Engine:
         heapq.heappush(self._heap, (when, next(self._sequence), event))
 
     def _push_triggered(self, event):
-        self._push_at(self._now, event)
+        self._immediate.append(event)
 
     # -- execution --------------------------------------------------------------
 
     def run(self, until=None):
-        """Run events until the heap drains or the clock passes ``until``.
+        """Run events until both queues drain or the clock passes ``until``.
 
         Returns the final simulated time.  Events scheduled exactly at
         ``until`` still fire (the bound is inclusive).
         """
-        while self._heap:
-            when, _seq, event = self._heap[0]
-            if until is not None and when > until:
-                self._now = until
-                return self._now
-            heapq.heappop(self._heap)
-            if when < self._now:
-                raise SimulationError("event heap went backwards in time")
-            self._now = when
-            event._processed = True
-            callbacks, event.callbacks = event.callbacks, []
-            if event._exception is not None and not callbacks:
-                # A failed event nobody waits on is an unhandled modeled
-                # fault; surface it instead of dropping it.
-                raise event._exception
-            for callback in callbacks:
-                callback(event)
-        if until is not None:
-            self._now = max(self._now, until)
-        return self._now
+        # Local bindings for the hot loop: every name resolved here is one
+        # dict lookup the per-event path no longer pays.
+        immediate = self._immediate
+        heap = self._heap
+        popleft = immediate.popleft
+        heappop = heapq.heappop
+        now = self._now
+        while True:
+            if immediate:
+                # Fast path: no heap access at all.  Heap entries at the
+                # current instant cannot appear while immediates are being
+                # processed (the heap holds only strictly-future timeouts);
+                # the drain loop below already flushed any that existed.
+                event = popleft()
+                if event._cancelled:
+                    continue
+                event._processed = True
+                callbacks = event.callbacks
+                event.callbacks = []
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                elif event._exception is not None and not event._defused:
+                    # A failed event nobody waits on is an unhandled modeled
+                    # fault; surface it instead of dropping it.
+                    raise event._exception
+            elif heap:
+                head = heap[0]
+                if head[2]._cancelled:
+                    # Discard lazily, before it can advance the clock.
+                    heappop(heap)
+                    continue
+                when = head[0]
+                if when != now:
+                    if when < now:
+                        raise SimulationError(
+                            "event heap went backwards in time"
+                        )
+                    if until is not None and when > until:
+                        self._now = until
+                        return until
+                    self._now = now = when
+                # Drain every heap entry at this instant before touching the
+                # immediate queue: they were pushed at an earlier instant, so
+                # they predate anything triggered while processing `now` —
+                # this keeps global same-instant FIFO order exact.
+                while True:
+                    event = heappop(heap)[2]
+                    if not event._cancelled:
+                        event._processed = True
+                        callbacks = event.callbacks
+                        event.callbacks = []
+                        if callbacks:
+                            for callback in callbacks:
+                                callback(event)
+                        elif (event._exception is not None
+                              and not event._defused):
+                            raise event._exception
+                    if not heap or heap[0][0] != now:
+                        break
+            else:
+                break
+        if until is not None and until > now:
+            self._now = now = until
+        return now
 
     def peek(self):
-        """Time of the next scheduled event, or ``None`` if the heap is empty."""
-        if not self._heap:
+        """Time of the next scheduled event, or ``None`` if none is pending."""
+        immediate = self._immediate
+        while immediate and immediate[0]._cancelled:
+            immediate.popleft()
+        if immediate:
+            return self._now
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0][0]
+        return heap[0][0]

@@ -9,13 +9,18 @@ percentages (Fig. 13).
 import math
 
 
-def percentile(samples, fraction):
-    """Linear-interpolated percentile of ``samples`` (fraction in [0, 1])."""
+def percentile(samples, fraction, presorted=False):
+    """Linear-interpolated percentile of ``samples`` (fraction in [0, 1]).
+
+    Pass ``presorted=True`` when ``samples`` is already sorted to skip the
+    O(n log n) copy — callers that take several percentiles of one sample
+    set (candlesticks, recorders) sort once and reuse.
+    """
     if not samples:
         raise ValueError("percentile of an empty sample set")
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction {fraction} outside [0, 1]")
-    ordered = sorted(samples)
+    ordered = samples if presorted else sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
     position = fraction * (len(ordered) - 1)
@@ -36,15 +41,18 @@ class Candlestick:
 
     __slots__ = ("low", "q1", "median", "q3", "high", "count")
 
-    def __init__(self, samples):
+    def __init__(self, samples, presorted=False):
         if not samples:
             raise ValueError("candlestick of an empty sample set")
-        self.count = len(samples)
-        self.low = min(samples)
-        self.q1 = percentile(samples, 0.25)
-        self.median = percentile(samples, 0.50)
-        self.q3 = percentile(samples, 0.75)
-        self.high = max(samples)
+        # One sort serves all five numbers (the seed re-sorted per
+        # percentile — four sorts per candlestick on Fig. 13's path).
+        ordered = samples if presorted else sorted(samples)
+        self.count = len(ordered)
+        self.low = ordered[0]
+        self.q1 = percentile(ordered, 0.25, presorted=True)
+        self.median = percentile(ordered, 0.50, presorted=True)
+        self.q3 = percentile(ordered, 0.75, presorted=True)
+        self.high = ordered[-1]
 
     @property
     def spread(self):
@@ -67,11 +75,13 @@ class LatencyRecorder:
 
     def __init__(self):
         self.samples = []
+        self._ordered = None  # cached sorted view; None when stale
 
     def record(self, latency_ns):
         if latency_ns < 0:
             raise ValueError("negative latency recorded")
         self.samples.append(latency_ns)
+        self._ordered = None
 
     def __len__(self):
         return len(self.samples)
@@ -82,11 +92,17 @@ class LatencyRecorder:
             return 0.0
         return sum(self.samples) / len(self.samples)
 
+    def _sorted_samples(self):
+        # The length guard also invalidates after direct `samples` appends.
+        if self._ordered is None or len(self._ordered) != len(self.samples):
+            self._ordered = sorted(self.samples)
+        return self._ordered
+
     def quantile(self, fraction):
-        return percentile(self.samples, fraction)
+        return percentile(self._sorted_samples(), fraction, presorted=True)
 
     def candlestick(self):
-        return Candlestick(self.samples)
+        return Candlestick(self._sorted_samples(), presorted=True)
 
 
 class RateMeter:

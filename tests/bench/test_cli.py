@@ -41,6 +41,42 @@ class TestDispatch:
         assert seen["workers"] == [1, 4]
 
 
+class TestSubparsers:
+    def test_figure_specific_flag_rejected_elsewhere(self):
+        """--txns is a fig09 flag; fig12 must reject it, not ignore it."""
+        with pytest.raises(SystemExit):
+            cli.main(["fig12", "--txns", "7"])
+
+    def test_workers_flag_rejected_on_fig13(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig13", "--workers", "1", "2"])
+
+    def test_every_subcommand_accepts_jobs_and_json(self):
+        parser = cli.build_parser()
+        for name in (*cli.FIGURES, "all", "kernel"):
+            args = parser.parse_args([name, "--jobs", "2", "--json", "x.json"])
+            assert args.jobs == 2
+            assert args.json == "x.json"
+
+    def test_json_flag_writes_rows(self, monkeypatch, tmp_path):
+        rows = [{"setup": "no-log", "workers": 1}]
+        monkeypatch.setitem(cli.FIGURES, "fig09", lambda args: rows)
+        path = tmp_path / "BENCH_fig09.json"
+        assert cli.main(["fig09", "--json", str(path)]) == 0
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["bench"] == "fig09"
+        assert payload["rows"] == rows
+
+    def test_jobs_forwarded_to_figure_runner(self, monkeypatch):
+        seen = {}
+        monkeypatch.setitem(cli.FIGURES, "fig11",
+                            lambda args: seen.update(jobs=args.jobs))
+        cli.main(["fig11", "--jobs", "3"])
+        assert seen["jobs"] == 3
+
+
 class TestRealRun:
     def test_fig12_runs_end_to_end(self, capsys):
         """One real (fast) figure through the CLI path."""
@@ -48,3 +84,18 @@ class TestRealRun:
         output = capsys.readouterr().out
         assert "opportunistic destaging" in output
         assert "neutral" in output
+
+    def test_kernel_microbench_runs_end_to_end(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_kernel.json"
+        assert cli.main(["kernel", "--events", "2000", "--repeat", "1",
+                        "--json", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "events/sec" in output
+        assert "same-instant" in output
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["bench"] == "kernel"
+        assert {row["workload"] for row in payload["rows"]} == {
+            "same-instant", "event-churn", "timeout-heavy",
+        }

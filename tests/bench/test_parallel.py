@@ -1,0 +1,55 @@
+"""The parallel sweep harness: cell fan-out, ordering, determinism."""
+
+import pytest
+
+from repro.bench.fig10_write_combining import run_fig10
+from repro.bench.fig12_destage_priority import run_fig12
+from repro.bench.parallel import default_jobs, run_cells
+from repro.sim.units import KIB
+
+
+def _square(value, offset=0):
+    return value * value + offset
+
+
+class TestRunCells:
+    def test_serial_preserves_cell_order(self):
+        cells = [{"value": v} for v in (3, 1, 2)]
+        assert run_cells(_square, cells) == [9, 1, 4]
+
+    def test_jobs_one_is_serial(self):
+        cells = [{"value": v, "offset": 1} for v in range(4)]
+        assert run_cells(_square, cells, jobs=1) == [1, 2, 5, 10]
+
+    def test_pool_results_match_serial_in_order(self):
+        cells = [{"value": v} for v in range(8)]
+        assert run_cells(_square, cells, jobs=2) == run_cells(_square, cells)
+
+    def test_jobs_zero_uses_core_count(self):
+        assert default_jobs() >= 1
+        cells = [{"value": v} for v in range(3)]
+        assert run_cells(_square, cells, jobs=0) == [0, 1, 4]
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_cells(_square, [{"value": 1}], jobs=-2)
+
+    def test_single_cell_skips_the_pool(self):
+        assert run_cells(_square, [{"value": 5}], jobs=8) == [25]
+
+
+class TestFigureDeterminism:
+    """Per-cell engines are private, so worker scheduling cannot leak into
+    results: a parallel sweep must be identical to the serial one."""
+
+    def test_fig10_parallel_identical_to_serial(self):
+        kwargs = {"write_sizes": (64, 256), "total_bytes": 8 * KIB}
+        serial = run_fig10(**kwargs)
+        parallel = run_fig10(**kwargs, jobs=2)
+        assert parallel == serial
+
+    def test_fig12_parallel_identical_to_serial(self):
+        kwargs = {"fast_fractions": (0.3, 0.5), "duration_ns": 2e6}
+        serial = run_fig12(**kwargs)
+        parallel = run_fig12(**kwargs, jobs=2)
+        assert parallel == serial

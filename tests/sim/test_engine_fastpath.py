@@ -1,0 +1,232 @@
+"""Semantics of the two-tier scheduling core: same-instant FIFO across both
+queues, lazy cancellation, AnyOf detach, and `then()` on processed events."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+
+
+class TestSameInstantFifo:
+    def test_succeed_and_zero_delay_timeouts_interleave_fifo(self):
+        """Immediate-queue events keep global trigger order, whatever mix of
+        succeed() events and zero-delay timeouts produced them."""
+        engine = Engine()
+        order = []
+        first = engine.event()
+        first.then(lambda _ev: order.append("succeed-1"))
+        engine.timeout(0.0).then(lambda _ev: order.append("timeout-1"))
+        second = engine.event()
+        second.then(lambda _ev: order.append("succeed-2"))
+        first.succeed()
+        engine.timeout(0.0).then(lambda _ev: order.append("timeout-2"))
+        second.succeed()
+        engine.run()
+        # Trigger order: first.succeed is third (timeouts trigger at
+        # creation, succeed events at the succeed() call).
+        assert order == ["timeout-1", "succeed-1", "timeout-2", "succeed-2"]
+
+    def test_heap_events_at_new_instant_precede_triggers_they_cause(self):
+        """When the clock advances to T, every timeout scheduled for T fires
+        before events triggered by the first one's callbacks — the heap
+        entries predate them."""
+        engine = Engine()
+        order = []
+
+        def early(_ev):
+            order.append("timer-a")
+            chained = engine.event()
+            chained.then(lambda _ev: order.append("chained"))
+            chained.succeed()
+
+        engine.timeout(10.0).then(early)
+        engine.timeout(10.0).then(lambda _ev: order.append("timer-b"))
+        engine.run()
+        assert order == ["timer-a", "timer-b", "chained"]
+
+    def test_mixed_instant_burst_is_deterministic(self):
+        def trace():
+            engine = Engine()
+            log = []
+
+            def proc(tag):
+                yield engine.timeout(5.0)
+                yield engine.timeout(0.0)
+                log.append(tag)
+                done = engine.event()
+                done.succeed(tag)
+                value = yield done
+                log.append(value * 10)
+
+            for tag in range(4):
+                engine.process(proc(tag))
+            engine.run()
+            return log
+
+        first, second = trace(), trace()
+        assert first == second
+        assert sorted(first[:4]) == [0, 1, 2, 3]
+
+    def test_run_until_processes_pending_immediates(self):
+        engine = Engine()
+        fired = []
+        gate = engine.event()
+        gate.then(lambda ev: fired.append(ev.value))
+        gate.succeed("now")
+        engine.timeout(50.0).then(lambda _ev: fired.append("later"))
+        engine.run(until=10.0)
+        assert fired == ["now"]
+        assert engine.now == 10.0
+        engine.run(until=50.0)
+        assert fired == ["now", "later"]
+
+
+class TestThenOnProcessedEvent:
+    def test_then_after_processing_runs_at_current_instant(self):
+        engine = Engine()
+        seen = []
+        gate = engine.event()
+        gate.succeed("v")
+        engine.run()
+        assert gate.triggered
+        gate.then(lambda ev: seen.append((engine.now, ev.value)))
+        engine.run()
+        assert seen == [(0.0, "v")]
+
+    def test_then_after_processing_keeps_fifo_with_other_immediates(self):
+        engine = Engine()
+        order = []
+        gate = engine.event()
+        gate.succeed()
+        engine.run()
+        other = engine.event()
+        other.then(lambda _ev: order.append("other"))
+        gate.then(lambda _ev: order.append("late-then"))
+        other.succeed()
+        engine.run()
+        # `then()` on the processed gate enqueued before other.succeed().
+        assert order == ["late-then", "other"]
+
+
+class TestCancellation:
+    def test_cancelled_timeout_never_fires(self):
+        engine = Engine()
+        fired = []
+        doomed = engine.timeout(10.0)
+        doomed.then(lambda _ev: fired.append("doomed"))
+        engine.timeout(20.0).then(lambda _ev: fired.append("kept"))
+        doomed.cancel()
+        engine.run()
+        assert fired == ["kept"]
+        assert engine.now == 20.0
+
+    def test_cancelled_timeout_does_not_advance_clock(self):
+        engine = Engine()
+        engine.timeout(1000.0).cancel()
+        engine.run()
+        assert engine.now == 0.0
+
+    def test_peek_skips_cancelled_entries(self):
+        engine = Engine()
+        engine.timeout(5.0).cancel()
+        later = engine.timeout(9.0)
+        assert engine.peek() == 9.0
+        later.cancel()
+        assert engine.peek() is None
+
+    def test_cancel_pending_event_makes_succeed_a_noop(self):
+        engine = Engine()
+        fired = []
+        gate = engine.event()
+        gate.then(lambda _ev: fired.append("gate"))
+        gate.cancel()
+        gate.succeed("ignored")  # must not raise, must not fire
+        engine.run()
+        assert fired == []
+        assert not gate.triggered
+        assert gate.cancelled
+
+    def test_cancel_triggered_unprocessed_event_drops_it(self):
+        engine = Engine()
+        fired = []
+        gate = engine.event()
+        gate.then(lambda _ev: fired.append("gate"))
+        gate.succeed()
+        gate.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_after_processing_is_a_noop(self):
+        engine = Engine()
+        fired = []
+        gate = engine.event()
+        gate.then(lambda _ev: fired.append("gate"))
+        gate.succeed()
+        engine.run()
+        gate.cancel()
+        assert fired == ["gate"]
+        assert not gate.cancelled
+        assert gate.value is None
+
+    def test_cancelled_failed_event_does_not_raise(self):
+        engine = Engine()
+        gate = engine.event()
+        gate.fail(RuntimeError("boom"))
+        gate.cancel()
+        engine.run()  # dropped at pop time, no unhandled-fault raise
+
+    def test_uncancelled_failed_event_nobody_waits_on_still_raises(self):
+        engine = Engine()
+        engine.event().fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            engine.run()
+
+
+class TestAnyOfDetach:
+    def test_losing_children_are_detached_after_first_fire(self):
+        engine = Engine()
+        fast = engine.timeout(1.0, "fast")
+        slow = engine.timeout(50.0, "slow")
+        race = engine.any_of([fast, slow])
+        assert len(slow.callbacks) == 1
+        engine.run(until=1.0)
+        assert race.triggered
+        assert race.value is fast
+        assert slow.callbacks == []  # AnyOf callback removed
+
+    def test_losing_child_failure_is_not_unhandled(self):
+        engine = Engine()
+        winner = engine.timeout(1.0)
+        loser = engine.event()
+        engine.any_of([winner, loser])
+        engine.run()
+        loser.fail(RuntimeError("after the race"))
+        engine.run()  # defused: must not raise
+
+    def test_external_callbacks_on_losers_survive_detach(self):
+        engine = Engine()
+        seen = []
+        winner = engine.timeout(1.0)
+        loser = engine.timeout(5.0, "slow")
+        loser.then(lambda ev: seen.append(ev.value))
+        engine.any_of([winner, loser])
+        engine.run()
+        assert seen == ["slow"]  # only the AnyOf hook was removed
+
+    def test_cancelling_losing_timeout_after_race_is_safe(self):
+        """The timeout-vs-completion idiom used by the WAL and destage
+        loops: race, then cancel the loser."""
+        engine = Engine()
+        outcomes = []
+
+        def waiter():
+            kick = engine.event()
+            engine.timeout(3.0).then(lambda _ev: kick.succeed("kicked"))
+            expiry = engine.timeout(100.0)
+            first = yield engine.any_of([kick, expiry])
+            expiry.cancel()
+            outcomes.append((engine.now, first.value))
+
+        engine.process(waiter())
+        engine.run()
+        assert outcomes == [(3.0, "kicked")]
+        assert engine.peek() is None  # cancelled expiry left nothing behind
