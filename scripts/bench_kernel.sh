@@ -11,6 +11,11 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo_root"
 
+status=0
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-    python -m repro.bench kernel --json BENCH_kernel.json "$@"
+    python -m repro.bench kernel --json BENCH_kernel.json "$@" || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "error: kernel benchmark failed with exit code $status" >&2
+    exit "$status"
+fi
 echo "wrote $repo_root/BENCH_kernel.json"

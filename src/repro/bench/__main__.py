@@ -9,6 +9,7 @@ Usage::
     python -m repro.bench fig13 [--periods 0.4 0.8 1.2 1.6] [--writes 200]
     python -m repro.bench all
     python -m repro.bench kernel [--events 200000] [--repeat 3]
+    python -m repro.bench chaos [--seed 7] [--faults plan.json]
 
 Every subcommand accepts ``--jobs N`` (fan the figure's independent cells
 over N worker processes; 0 = one per core) and ``--json PATH`` (also write
@@ -27,6 +28,8 @@ import sys
 from repro.bench import (
     format_series,
     format_table,
+    load_plan,
+    run_chaos_bench,
     run_fig09,
     run_fig10,
     run_fig11,
@@ -135,6 +138,38 @@ def _kernel(args):
     return rows
 
 
+def _chaos(args):
+    plan = None
+    if getattr(args, "faults", None):
+        plan = load_plan(args.faults)
+    result, rows = run_chaos_bench(
+        seed=getattr(args, "seed", 7),
+        secondaries=getattr(args, "secondaries", 2),
+        duration_ns=getattr(args, "duration_ms", 8.0) * 1e6,
+        plan=plan,
+        fault_events=getattr(args, "fault_events", 6),
+        transactions=getattr(args, "txns", 160),
+    )
+    print(f"chaos run: seed={result['seed']} "
+          f"chain={'->'.join(result['chain_order'])} "
+          f"kinds={','.join(result['fault_kinds'])}")
+    for entry in result["fault_log"]:
+        print(f"  t={entry['time_ns'] / 1e6:7.3f} ms  "
+              f"{entry['kind']:<20} {entry['site']:<12} {entry['detail']}")
+    print(format_table(rows, (
+        ("oracle", "oracle", ""),
+        ("verdict", "verdict", ""),
+        ("violations", "violations", "d"),
+        ("detail", "detail", ""),
+    ), title="Chaos oracles"))
+    print(f"\ncommits acknowledged: {result['commits_acknowledged']}, "
+          f"transactions recovered: {result['transactions_recovered']}, "
+          f"ok: {result['ok']}")
+    if not result["ok"]:
+        raise SystemExit(1)
+    return result
+
+
 FIGURES = {
     "fig09": _fig09,
     "fig10": _fig10,
@@ -207,7 +242,22 @@ def build_parser():
     kernel.add_argument("--repeat", type=int, default=3,
                         help="runs per engine; best rate is kept")
 
-    for sub in (fig09, fig10, fig11, fig12, fig13, kernel,
+    chaos = subparsers.add_parser(
+        "chaos", help="seeded fault-injection run with durability oracles")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="master seed (workload, plan, fault models)")
+    chaos.add_argument("--faults", metavar="PLAN_JSON", default=None,
+                       help="JSON fault plan overriding the seed-derived one")
+    chaos.add_argument("--secondaries", type=int, default=2,
+                       help="chain length behind the primary")
+    chaos.add_argument("--duration-ms", type=float, default=8.0,
+                       help="simulated milliseconds before the final crash")
+    chaos.add_argument("--fault-events", type=int, default=6,
+                       help="events in the seed-derived plan")
+    chaos.add_argument("--txns", type=int, default=160,
+                       help="transactions in the primary workload")
+
+    for sub in (fig09, fig10, fig11, fig12, fig13, kernel, chaos,
                 subparsers.choices["all"]):
         _add_common_flags(sub)
     return parser
@@ -231,7 +281,8 @@ def main(argv=None):
         if json_path:
             _write_json(json_path, "all", all_rows)
     else:
-        runner = _kernel if args.figure == "kernel" else FIGURES[args.figure]
+        extras = {"kernel": _kernel, "chaos": _chaos}
+        runner = extras.get(args.figure) or FIGURES[args.figure]
         rows = runner(args)
         if json_path:
             _write_json(json_path, args.figure, rows)

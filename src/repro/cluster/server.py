@@ -84,3 +84,27 @@ class Server:
     def crash(self):
         """Sudden power loss on this server; returns the crash report."""
         return self.power.power_loss()
+
+    def fail_supercap(self):
+        """Break the reserve-energy path: the next crash loses the queue."""
+        self.power.fail_supercap()
+        return self
+
+    def rejoin(self):
+        """Reboot a crashed server and re-register with its primary.
+
+        The device restarts its loops over surviving state; if the
+        transport was a secondary, re-asserting the role restarts the
+        counter reporter the crash killed.  Re-shipping the log range the
+        server missed is the cluster's job (see ``Cluster.resync``).
+        """
+        from repro.core.transport import TransportRole
+
+        if not self.device.halted:
+            raise RuntimeError(f"server {self.name} is not down")
+        self.device.restart()
+        transport = self.device.transport
+        if (transport.role is TransportRole.SECONDARY
+                and transport._primary_name is not None):
+            transport.set_secondary(transport._primary_name)
+        return self

@@ -10,11 +10,15 @@ from repro.ssd.nvme import AdminOpcode
 class Cluster:
     """A set of servers with replication roles configured."""
 
-    def __init__(self, engine, servers, bridges, primary_name):
+    def __init__(self, engine, servers, bridges, primary_name, order=None):
         self.engine = engine
         self.servers = {server.name: server for server in servers}
         self.bridges = bridges
         self.primary_name = primary_name
+        # Replication order: head first.  For a chain this is the relay
+        # path; for a star it is just the wiring order.  Reconfiguration
+        # edits it as servers die.
+        self.order = list(order) if order else [s.name for s in servers]
 
     @property
     def primary(self):
@@ -26,6 +30,81 @@ class Cluster:
             for name, server in self.servers.items()
             if name != self.primary_name
         ]
+
+    def alive_secondaries(self):
+        return [s for s in self.secondaries() if not s.device.halted]
+
+    def predecessor_of(self, name):
+        """Nearest *alive* server upstream of ``name`` in the chain order."""
+        index = self.order.index(name)
+        for candidate in reversed(self.order[:index]):
+            server = self.servers[candidate]
+            if not server.device.halted:
+                return server
+        return None
+
+    def successor_of(self, name):
+        """Nearest *alive* server downstream of ``name`` in the chain order."""
+        index = self.order.index(name)
+        for candidate in self.order[index + 1:]:
+            server = self.servers[candidate]
+            if not server.device.halted:
+                return server
+        return None
+
+    def resync(self, secondary_name):
+        """Re-ship the log range ``secondary_name`` is missing.
+
+        The management plane queries the rejoining secondary for its
+        contiguous frontier (what a real deployment reads back via the
+        status admin command) and asks its upstream neighbor to re-offer
+        retained history from that byte onward.  Duplicates the secondary
+        already holds are discarded at its CMB, so over-shipping is safe.
+        Returns the bytes offered, or 0 when there is no upstream flow.
+        """
+        upstream = self.predecessor_of(secondary_name)
+        if upstream is None:
+            return 0
+        transport = upstream.device.transport
+        if secondary_name not in transport._flows:
+            return 0
+        frontier = self.servers[secondary_name].device.cmb.credit.value
+        return transport.resync_peer(secondary_name, from_offset=frontier)
+
+    def reconfigure_around(self, dead_name):
+        """Splice a dead server out of the chain (Section 7.1's step).
+
+        The dead server's upstream neighbor drops its mirror flow toward
+        it; if an alive successor exists further down the chain, a fresh
+        NTB hop is cabled between the two survivors, the upstream opens a
+        mirror flow over it, and the successor is resynced from retained
+        history.  The chain order forgets the dead server either way.
+        """
+        from repro.pcie.ntb import NtbBridge, NtbPort
+
+        if dead_name not in self.order:
+            raise KeyError(f"{dead_name!r} is not part of this cluster")
+        upstream = self.predecessor_of(dead_name)
+        successor = self.successor_of(dead_name)
+        if upstream is not None:
+            transport = upstream.device.transport
+            if dead_name in transport._flows:
+                transport.remove_peer(dead_name)
+        self.order.remove(dead_name)
+        if upstream is None or successor is None:
+            return None
+        new_port = NtbPort(self.engine,
+                           f"{upstream.name}.right@{successor.name}")
+        upstream.device.transport.attach_extra_port(new_port)
+        bridge = NtbBridge(self.engine, new_port,
+                           successor.device.transport.ntb_port)
+        self.bridges.append(bridge)
+        upstream.right_port = new_port
+        if successor.name not in upstream.device.transport._flows:
+            upstream.device.transport.add_peer(successor.name, port=new_port)
+        successor.device.transport.set_secondary(upstream.name)
+        self.resync(successor.name)
+        return bridge
 
     def set_replication_policy(self, policy_name):
         """Switch the primary's counter-combination policy at runtime."""
@@ -131,8 +210,10 @@ def replicated_pair(engine, config_factory, ntb_bandwidth=7.0,
         engine, ["primary", "secondary"], config_factory,
         ntb_bandwidth, ntb_hop_ns,
     )
-    cluster = Cluster(engine, servers, bridges, primary_name="primary")
+    cluster = Cluster(engine, servers, bridges, primary_name="primary",
+                      order=["primary", "secondary"])
     primary, secondary = servers
+    primary.right_port = primary.ntb_port
     primary.become_primary(["secondary"])
     secondary.become_secondary("primary")
     cluster.set_replication_policy(policy)
@@ -168,7 +249,8 @@ def replicated_chain(engine, config_factory, secondaries=2,
         left.right_port = left_port
     for server in servers:
         server.start()
-    cluster = Cluster(engine, servers, bridges, primary_name="primary")
+    cluster = Cluster(engine, servers, bridges, primary_name="primary",
+                      order=names)
     # Roles: head is primary, everyone else is secondary; every non-tail
     # server opens a mirror flow toward its right neighbor.
     transports = [server.device.transport for server in servers]

@@ -18,7 +18,7 @@ following semantics").  The Transport module, when active, taps the intake
 stream to mirror it to secondaries.
 """
 
-from repro.core.ring import SequencedRing
+from repro.core.ring import RingOverflowError, SequencedRing
 from repro.sim.resources import Container, Store
 from repro.sim.stats import Counter
 
@@ -56,6 +56,18 @@ class CmbModule:
         self._running = False
         self.bytes_received = 0
         self.chunks_received = 0
+        # Torn-write injection: when armed, the next arriving chunk loses
+        # its tail on the wire (a WC buffer that flushed partially, a host
+        # that died mid-store).  The missing bytes leave a gap the credit
+        # counter can never cross until the range is re-shipped.
+        self._torn_armed = 0
+        self.torn_writes = 0
+        # Chunks whose stream range conflicted with already-received data
+        # (a retransmission racing the original over a slow link).  The
+        # device discards them instead of crashing: the ring's strict
+        # protocol check stays intact for genuine violations, while the
+        # replication path tolerates duplicate delivery.
+        self.chunks_discarded = 0
 
     # -- wiring -------------------------------------------------------------------
 
@@ -81,6 +93,12 @@ class CmbModule:
         """Register ``callback(value)`` fired when the credit advances."""
         self._credit_watchers.append(callback)
 
+    def arm_torn_write(self, count=1):
+        """Truncate the next ``count`` arriving chunks to half their bytes."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._torn_armed += count
+
     # -- device-side intake ----------------------------------------------------------
 
     def receive(self, offset, nbytes, payload=None):
@@ -92,6 +110,10 @@ class CmbModule:
         """
         if nbytes <= 0:
             raise ValueError("chunks must carry at least one byte")
+        if self._torn_armed and nbytes > 1:
+            self._torn_armed -= 1
+            self.torn_writes += 1
+            nbytes = nbytes // 2  # the tail never arrived
         self.bytes_received += nbytes
         self.chunks_received += 1
         for tap in self._intake_taps:
@@ -161,7 +183,11 @@ class CmbModule:
             return  # a crash already salvaged the pipeline
         offset, nbytes, payload = self._persisting.pop(0)
         self._queue_space.put(nbytes)
-        advanced = self.ring.write(offset, nbytes, payload)
+        try:
+            advanced = self.ring.write(offset, nbytes, payload)
+        except RingOverflowError:
+            self.chunks_discarded += 1
+            return
         if advanced:
             value = self.credit.advance(advanced)
             for watcher in self._credit_watchers:
@@ -195,7 +221,10 @@ class CmbModule:
         salvaged = list(self._persisting) + list(self._intake.peek_all())
         self._persisting = []
         for offset, nbytes, payload in salvaged:
-            advanced += self.ring.write(offset, nbytes, payload)
+            try:
+                advanced += self.ring.write(offset, nbytes, payload)
+            except RingOverflowError:
+                self.chunks_discarded += 1
         self._intake._items.clear()
         if advanced:
             self.credit.advance(advanced)

@@ -17,12 +17,27 @@ class CrashReport:
     """What the power-loss event did, for assertions and post-mortems."""
 
     def __init__(self, at_time, queue_bytes_salvaged, pages_destaged,
-                 chunks_lost_beyond_gap, durable_offset):
+                 chunks_lost_beyond_gap, durable_offset,
+                 reserve_energy_ok=True, credit_at_crash=0):
         self.at_time = at_time
         self.queue_bytes_salvaged = queue_bytes_salvaged
         self.pages_destaged = pages_destaged
         self.chunks_lost_beyond_gap = chunks_lost_beyond_gap
         self.durable_offset = durable_offset
+        self.reserve_energy_ok = reserve_energy_ok
+        self.credit_at_crash = credit_at_crash
+
+    def as_dict(self):
+        """Plain-data form, for JSON output and byte-exact run comparison."""
+        return {
+            "at_time": self.at_time,
+            "queue_bytes_salvaged": self.queue_bytes_salvaged,
+            "pages_destaged": self.pages_destaged,
+            "chunks_lost_beyond_gap": self.chunks_lost_beyond_gap,
+            "durable_offset": self.durable_offset,
+            "reserve_energy_ok": self.reserve_energy_ok,
+            "credit_at_crash": self.credit_at_crash,
+        }
 
     def __repr__(self):
         return (
@@ -30,7 +45,8 @@ class CrashReport:
             f"salvaged={self.queue_bytes_salvaged}B, "
             f"pages={self.pages_destaged}, "
             f"lost_chunks={self.chunks_lost_beyond_gap}, "
-            f"durable_offset={self.durable_offset})"
+            f"durable_offset={self.durable_offset}, "
+            f"reserve={'ok' if self.reserve_energy_ok else 'FAILED'})"
         )
 
 
@@ -43,6 +59,17 @@ class PowerLossInjector:
         self.reserve_energy_ok = reserve_energy_ok
         self.crashes = []
 
+    def fail_supercap(self):
+        """Degrade the reserve-energy path: the next crash is dirty.
+
+        This is the ablation the paper's guarantees rule out — a failed
+        supercapacitor means the intake queue and the un-destaged ring are
+        lost, so recovery must detect a log truncated *below* the credit
+        counter the host last saw.
+        """
+        self.reserve_energy_ok = False
+        return self
+
     def power_loss(self):
         """Cut power now; returns a :class:`CrashReport`.
 
@@ -52,6 +79,7 @@ class PowerLossInjector:
         and flash survives.
         """
         device = self.device
+        credit_at_crash = device.cmb.credit.value
         device.halt()
         salvaged = 0
         pages = 0
@@ -65,6 +93,8 @@ class PowerLossInjector:
             pages_destaged=pages,
             chunks_lost_beyond_gap=lost,
             durable_offset=device.destage.destaged_offset,
+            reserve_energy_ok=self.reserve_energy_ok,
+            credit_at_crash=credit_at_crash,
         )
         self.crashes.append(report)
         return report

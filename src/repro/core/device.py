@@ -115,9 +115,30 @@ class XssdDevice:
         self._halted = True
         self.cmb.stop()
         self.destage.stop()
+        self.transport.halt()
         self.conventional.scheduler.stop()
         self.conventional.hic.stop()
         self.conventional.gc.stop()
+
+    def restart(self):
+        """Bring a halted device back online (replica reboot/rejoin).
+
+        Restarts every stopped loop over the *surviving* state — mappings,
+        destaged pages, and the PM ring carry over, matching a real reboot
+        where only volatile queues were lost.  The transport role is kept;
+        re-registering with a primary is the cluster layer's job.
+        """
+        if not self._halted:
+            raise RuntimeError(f"{self.name} is not halted")
+        self._halted = False
+        self.conventional.hic.start(pumps=self.config.ssd.hic_pumps)
+        self.conventional.scheduler.start()
+        if self.config.ssd.gc_enabled:
+            self.conventional.gc.start()
+        self.cmb.start()
+        self.destage.start()
+        self.transport.restart_flows()
+        return self
 
     @property
     def halted(self):
@@ -201,6 +222,11 @@ class XssdDevice:
             self.transport.add_peer(peer)
             return peer
 
+        def remove_peer(command):
+            peer = command.arguments["peer"]
+            self.transport.remove_peer(peer)
+            return peer
+
         def configure(command):
             if "replication_policy" in command.arguments:
                 self.transport.policy = policy_by_name(
@@ -238,6 +264,8 @@ class XssdDevice:
         firmware.register_admin_handler(
             AdminOpcode.XSSD_SET_SECONDARY, set_secondary)
         firmware.register_admin_handler(AdminOpcode.XSSD_ADD_PEER, add_peer)
+        firmware.register_admin_handler(
+            AdminOpcode.XSSD_REMOVE_PEER, remove_peer)
         firmware.register_admin_handler(AdminOpcode.XSSD_CONFIGURE, configure)
         firmware.register_admin_handler(
             AdminOpcode.XSSD_QUERY_STATUS, query_status)

@@ -62,6 +62,7 @@ def device_snapshot(device):
                 "writes": conventional.ftl.writes_served,
                 "reads": conventional.ftl.reads_served,
                 "program_failures": conventional.ftl.program_failures,
+                "read_retries": conventional.ftl.read_retries,
                 "mapped_lbas": len(conventional.ftl.table),
                 "free_blocks": conventional.ftl.allocator.free_blocks(),
                 "bad_blocks": len(conventional.ftl.allocator.bad_blocks),
@@ -87,6 +88,18 @@ def device_snapshot(device):
             },
             "updates_sent": transport.counter_updates_sent,
             "updates_received": transport.counter_updates_received,
+        },
+        "faults": {
+            "torn_writes": cmb.torn_writes,
+            "chunks_discarded": cmb.chunks_discarded,
+            "corrupt_dropped": transport.corrupt_dropped,
+            "sends_retried": sum(
+                flow.sends_retried for flow in transport._flows.values()
+            ),
+            "chunks_abandoned": sum(
+                len(flow.chunks_abandoned)
+                for flow in transport._flows.values()
+            ),
         },
         "link": {
             "tlps_down": conventional.link.tlps_down,

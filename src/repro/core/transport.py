@@ -51,15 +51,27 @@ class MirrorFlow:
     NTB port, so a slow secondary delays only its own flow (Section 4.2:
     "it allows each secondary to receive traffic at an independent
     pace").
+
+    Sends observed as dropped at the link layer are retried with bounded
+    exponential backoff (the PCIe data-link layer's replay, writ large):
+    ``retry_limit`` extra attempts spaced ``retry_backoff_ns * 2**n``
+    apart.  A chunk that exhausts its retries is *abandoned* — recorded
+    so reconfiguration-time resync can re-ship the range — because an
+    unbounded replay against a dead cable would wedge the flow forever.
     """
 
-    def __init__(self, engine, peer_name, ntb_port):
+    def __init__(self, engine, peer_name, ntb_port, retry_limit=4,
+                 retry_backoff_ns=5_000.0):
         self.engine = engine
         self.peer_name = peer_name
         self.ntb_port = ntb_port
+        self.retry_limit = retry_limit
+        self.retry_backoff_ns = retry_backoff_ns
         self._backlog = []
         self._kick = engine.event()
         self.bytes_shipped = 0
+        self.sends_retried = 0
+        self.chunks_abandoned = []  # (offset, nbytes) given up after retries
         self.running = True
 
     def offer(self, offset, nbytes, payload):
@@ -77,15 +89,27 @@ class MirrorFlow:
                 continue
             offset, nbytes, payload = self._backlog.pop(0)
             yield self.engine.timeout(MIRROR_REPACKAGE_NS)
-            tlp = Tlp(
-                TlpType.MEMORY_WRITE,
-                address=offset,
-                payload=nbytes,
-                metadata={"contributions": [(offset, nbytes, payload)],
-                          "kind": "mirror"},
-            )
-            yield self.ntb_port.send(tlp)
-            self.bytes_shipped += nbytes
+            attempt = 0
+            while self.running:
+                tlp = Tlp(
+                    TlpType.MEMORY_WRITE,
+                    address=offset,
+                    payload=nbytes,
+                    metadata={"contributions": [(offset, nbytes, payload)],
+                              "kind": "mirror"},
+                )
+                delivered = yield self.ntb_port.send(tlp)
+                if delivered is not None:
+                    self.bytes_shipped += nbytes
+                    break
+                if attempt >= self.retry_limit:
+                    self.chunks_abandoned.append((offset, nbytes))
+                    break
+                self.sends_retried += 1
+                yield self.engine.timeout(
+                    self.retry_backoff_ns * (2 ** attempt)
+                )
+                attempt += 1
 
 
 class TransportModule:
@@ -110,6 +134,17 @@ class TransportModule:
         self.status_register = "ok"  # Section 7.1's transport status
         self.counter_updates_sent = 0
         self.counter_updates_received = 0
+        self.corrupt_dropped = 0  # poisoned TLPs discarded at receive
+        # A halted device no longer accepts packets: a dead replica's port
+        # may still be cabled, but nothing behind it is listening.
+        self.receiving = True
+        self.dropped_while_down = 0
+        # Replication history: every chunk that passed the intake tap,
+        # retained while flows exist so a lagging or rejoining peer can be
+        # resynced (the Section 7.1 reconfiguration step re-ships the
+        # range the database knows the peer is missing; the simulator
+        # keeps the chunks so tests can drive that step directly).
+        self.history = []
         # Staleness detection: if a shadow counter lags the local counter
         # while no update arrives for this long, the replication path is
         # presumed broken and the status register flips to "stale".
@@ -216,6 +251,80 @@ class TransportModule:
         self.engine.process(flow.pump(), name=f"mirror->{peer_name}")
         return flow
 
+    def remove_peer(self, peer_name):
+        """Tear down the mirror flow toward ``peer_name`` (dead or dropped).
+
+        The flow's pump stops, the shadow counter is forgotten, and the
+        visible counter immediately stops waiting on the departed peer —
+        the transport half of the Section 7.1 reconfiguration flow.
+        """
+        flow = self._flows.pop(peer_name, None)
+        if flow is None:
+            raise KeyError(f"no mirror flow toward {peer_name!r}")
+        flow.running = False
+        if not flow._kick.triggered:
+            flow._kick.succeed()
+        self.shadow_counters.pop(peer_name, None)
+        return flow
+
+    def resync_peer(self, peer_name, from_offset=0, skip_offsets=()):
+        """Re-ship retained history chunks at/after ``from_offset``.
+
+        ``skip_offsets`` names chunk starts the peer already holds parked
+        beyond its gap (duplicates would be discarded at the peer anyway;
+        skipping them saves wire bandwidth).  Chunks straddling
+        ``from_offset`` are re-shipped from the missing byte onward.
+        Returns the number of bytes offered.
+        """
+        flow = self._flows.get(peer_name)
+        if flow is None:
+            raise KeyError(f"no mirror flow toward {peer_name!r}")
+        skip = set(skip_offsets)
+        offered = 0
+        for offset, nbytes, payload in self.history:
+            end = offset + nbytes
+            if end <= from_offset or offset in skip:
+                continue
+            if offset < from_offset:
+                # Re-ship only the missing tail of a partially received
+                # chunk (the torn-write case).
+                flow.offer(from_offset, end - from_offset, payload)
+                offered += end - from_offset
+            else:
+                flow.offer(offset, nbytes, payload)
+                offered += nbytes
+        return offered
+
+    def halt(self):
+        """Power loss: stop flows, reporting, monitoring, and receiving."""
+        for flow in self._flows.values():
+            flow.running = False
+            if not flow._kick.triggered:
+                flow._kick.succeed()
+        self._reporter_running = False
+        self._monitor_running = False
+        self.receiving = False
+
+    def restart_flows(self):
+        """Replace halted mirror flows with fresh pumps (replica rejoin).
+
+        Backlogged chunks of the dead flow are dropped — the rejoin
+        protocol re-ships missing ranges from history instead, so the new
+        pump starts clean.
+        """
+        self.receiving = True
+        for peer_name, flow in list(self._flows.items()):
+            if flow.running:
+                continue
+            fresh = MirrorFlow(
+                self.engine, peer_name, flow.ntb_port,
+                retry_limit=flow.retry_limit,
+                retry_backoff_ns=flow.retry_backoff_ns,
+            )
+            fresh.bytes_shipped = flow.bytes_shipped
+            self._flows[peer_name] = fresh
+            self.engine.process(fresh.pump(), name=f"mirror->{peer_name}")
+
     def watch_shadow(self, callback):
         """Register ``callback(peer_name, value)`` on shadow updates."""
         self._shadow_watchers.append(callback)
@@ -226,12 +335,22 @@ class TransportModule:
         # Mirror whenever flows exist: a primary mirrors local writes,
         # a chain intermediate mirrors the stream it receives (its CMB
         # intake carries both cases — replication feeds the same intake).
+        self.history.append((offset, nbytes, payload))
         for flow in self._flows.values():
             flow.offer(offset, nbytes, payload)
 
     # -- packet receive (both roles) ----------------------------------------------------
 
     def _on_ntb_packet(self, tlp):
+        if not self.receiving:
+            self.dropped_while_down += 1
+            return
+        if tlp.metadata.get("corrupted"):
+            # Failed end-to-end check: the packet never reaches the CMB.
+            # Its stream range stays missing until re-shipped, exactly
+            # like a drop — but the wire bandwidth was spent.
+            self.corrupt_dropped += 1
+            return
         kind = tlp.metadata.get("kind")
         if kind == "mirror":
             # Secondary: feed the mirrored write into the local CMB.

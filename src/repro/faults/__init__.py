@@ -1,0 +1,54 @@
+"""Deterministic fault injection for X-SSD devices and clusters.
+
+The subsystem has three parts, mirroring how the paper argues its
+guarantees (Sections 4.1, 5, 7.1):
+
+* :mod:`repro.faults.plan` — *what goes wrong and when*: a
+  :class:`FaultPlan` is a time-ordered schedule of
+  ``(time, site, kind)`` entries, either hand-written or drawn
+  deterministically from a seed via :func:`repro.sim.rng.derive`;
+* :mod:`repro.faults.injector` — *how it goes wrong*: the
+  :class:`ChaosInjector` walks a plan inside the simulation and drives
+  the hook points the device layers expose (NAND program/read faults,
+  NTB link drop/corruption/latency, replica crash/rejoin, supercap
+  failure, torn CMB writes), plus the degradation machinery each fault
+  demands (resync, chain reconfiguration);
+* :mod:`repro.faults.oracles` — *what must still hold*: reusable
+  invariant checkers (durable prefix, no lost acknowledgement, replica
+  prefix consistency, FTL mapping integrity) that chaos tests and
+  hypothesis properties import.
+
+:mod:`repro.faults.scenario` bundles the three into one reproducible
+chaos run over a replicated chain (the ``python -m repro.bench chaos``
+entry point and the determinism regression test both call it).
+"""
+
+from repro.faults.injector import ChaosInjector
+from repro.faults.oracles import (
+    OracleViolation,
+    StreamRecorder,
+    assert_oracles,
+    check_durable_prefix,
+    check_ftl_integrity,
+    check_no_lost_acks,
+    check_replica_prefix,
+    check_visible_counter_bound,
+)
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.scenario import run_chaos
+
+__all__ = [
+    "ChaosInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "OracleViolation",
+    "StreamRecorder",
+    "assert_oracles",
+    "check_durable_prefix",
+    "check_ftl_integrity",
+    "check_no_lost_acks",
+    "check_replica_prefix",
+    "check_visible_counter_bound",
+    "run_chaos",
+]

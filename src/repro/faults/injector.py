@@ -1,0 +1,169 @@
+"""The chaos injector: walking a fault plan inside the simulation.
+
+One :class:`ChaosInjector` owns one :class:`~repro.faults.plan.FaultPlan`
+and one cluster.  Its process sleeps until each spec's time, resolves the
+symbolic site (a server name or ``"bridge-N"``), and drives the hook
+point the device layers expose for that fault kind.  Every application
+is appended to ``fault_log`` — plain dicts, so two runs of the same seed
+can be compared byte-for-byte.
+
+Healing is part of injection: a restored link or a rejoined replica gets
+its missing stream range re-shipped (``Cluster.resync``), and a replica
+that crashes with no rejoin scheduled anywhere later in the plan is
+spliced out of the chain after a grace period
+(``Cluster.reconfigure_around``) so the visible counter can move again.
+"""
+
+from repro.faults.plan import FaultKind
+
+
+class ChaosInjector:
+    """Applies a :class:`~repro.faults.plan.FaultPlan` to a cluster."""
+
+    def __init__(self, engine, cluster, plan, grace_ns=1_500_000.0):
+        self.engine = engine
+        self.cluster = cluster
+        self.plan = plan
+        self.grace_ns = grace_ns
+        self.fault_log = []
+        self.crash_reports = {}  # site -> CrashReport
+        self._process = None
+
+    def start(self):
+        """Launch the schedule walker; returns its process event."""
+        if self._process is not None:
+            raise RuntimeError("chaos injector already started")
+        self._process = self.engine.process(self._run(), name="chaos-injector")
+        return self._process
+
+    # -- schedule walking -----------------------------------------------------------
+
+    def _run(self):
+        for spec in self.plan:
+            delay = spec.time_ns - self.engine.now
+            if delay > 0:
+                yield self.engine.timeout(delay)
+            detail = self._apply(spec)
+            self.fault_log.append({
+                "time_ns": self.engine.now,
+                "kind": spec.kind.value,
+                "site": spec.site,
+                "detail": detail,
+            })
+
+    def _log_heal(self, action, site, detail):
+        self.fault_log.append({
+            "time_ns": self.engine.now,
+            "kind": action,
+            "site": site,
+            "detail": detail,
+        })
+
+    # -- site resolution -------------------------------------------------------------
+
+    def _server(self, site):
+        try:
+            return self.cluster.servers[site]
+        except KeyError:
+            raise KeyError(f"fault site {site!r} names no server") from None
+
+    def _bridge(self, site):
+        if not site.startswith("bridge-"):
+            raise KeyError(f"fault site {site!r} is not a bridge")
+        index = int(site.split("-", 1)[1])
+        return self.cluster.bridges[index]
+
+    def _bridge_downstream(self, bridge):
+        """The server on the secondary side of ``bridge``, if it exists.
+
+        Topology builders wire ``port_b`` to the right-hand (downstream)
+        server's main port, which carries the server's name.
+        """
+        return self.cluster.servers.get(bridge.port_b.name)
+
+    # -- fault dispatch ---------------------------------------------------------------
+
+    def _apply(self, spec):
+        kind = spec.kind
+        params = spec.params
+        if kind is FaultKind.NAND_PROGRAM_FAIL:
+            server = self._server(spec.site)
+            model = server.device.conventional.config.program_fault_model
+            if model is None:
+                return "skipped: no program fault model installed"
+            count = int(params.get("count", 1))
+            model.force_next_failures(count)
+            return f"next {count} page program(s) will fail"
+        if kind is FaultKind.NAND_READ_UNCORRECTABLE:
+            server = self._server(spec.site)
+            model = server.device.conventional.config.read_fault_model
+            if model is None:
+                return "skipped: no read fault model installed"
+            count = int(params.get("count", 1))
+            model.force_next_errors(count)
+            return f"next {count} page read(s) uncorrectable"
+        if kind is FaultKind.LINK_DOWN:
+            self._bridge(spec.site).sever()
+            return "link severed"
+        if kind is FaultKind.LINK_UP:
+            bridge = self._bridge(spec.site)
+            bridge.restore()
+            downstream = self._bridge_downstream(bridge)
+            if downstream is not None and not downstream.device.halted:
+                offered = self.cluster.resync(downstream.name)
+                return f"link restored; resynced {offered} bytes to " \
+                       f"{downstream.name}"
+            return "link restored"
+        if kind is FaultKind.LINK_CORRUPT:
+            count = int(params.get("count", 1))
+            self._bridge(spec.site).corrupt_next(count)
+            return f"next {count} TLP(s) poisoned"
+        if kind is FaultKind.LINK_LATENCY_SPIKE:
+            extra = float(params.get("extra_ns", 10_000.0))
+            duration = float(params.get("duration_ns", 100_000.0))
+            self._bridge(spec.site).inject_latency_spike(extra, duration)
+            return f"+{extra:.0f}ns per hop for {duration:.0f}ns"
+        if kind is FaultKind.REPLICA_CRASH:
+            server = self._server(spec.site)
+            if server.device.halted:
+                return "skipped: already down"
+            report = server.crash()
+            self.crash_reports[spec.site] = report
+            if not self.plan.later_specs(self.engine.now,
+                                         kind=FaultKind.REPLICA_REJOIN,
+                                         site=spec.site):
+                self.engine.process(
+                    self._reconfigure_later(spec.site),
+                    name=f"reconfigure-{spec.site}",
+                )
+            return f"crashed; durable_offset={report.durable_offset:.0f}"
+        if kind is FaultKind.REPLICA_REJOIN:
+            server = self._server(spec.site)
+            if not server.device.halted:
+                return "skipped: not down"
+            if spec.site not in self.cluster.order:
+                return "skipped: already reconfigured out of the chain"
+            server.rejoin()
+            offered = self.cluster.resync(spec.site)
+            return f"rejoined; resynced {offered} bytes"
+        if kind is FaultKind.SUPERCAP_FAIL:
+            self._server(spec.site).fail_supercap()
+            return "reserve energy disabled"
+        if kind is FaultKind.CMB_TORN_WRITE:
+            count = int(params.get("count", 1))
+            self._server(spec.site).device.cmb.arm_torn_write(count)
+            return f"next {count} arriving chunk(s) torn"
+        raise ValueError(f"unhandled fault kind {kind!r}")
+
+    # -- degradation: splice out a dead secondary --------------------------------------
+
+    def _reconfigure_later(self, site):
+        yield self.engine.timeout(self.grace_ns)
+        server = self.cluster.servers[site]
+        if not server.device.halted or site not in self.cluster.order:
+            return
+        self.cluster.reconfigure_around(site)
+        self._log_heal(
+            "chain-reconfigure", site,
+            f"spliced {site} out; order now {'->'.join(self.cluster.order)}",
+        )

@@ -7,6 +7,7 @@ to serve timed reads and writes, including program-failure handling
 """
 
 from repro.ftl.allocator import BlockAllocator
+from repro.nand.errors import UncorrectableError
 from repro.nand.geometry import PhysicalPageAddress
 
 
@@ -78,7 +79,7 @@ class PageMappingFtl:
     """
 
     def __init__(self, engine, channels, geometry, program_fault_model=None,
-                 reserved_blocks_per_die=1):
+                 reserved_blocks_per_die=1, read_retry_limit=3):
         self.engine = engine
         self.channels = channels
         self.geometry = geometry
@@ -87,9 +88,14 @@ class PageMappingFtl:
             geometry, reserved_blocks_per_die=reserved_blocks_per_die
         )
         self.program_fault_model = program_fault_model
+        # Uncorrectable reads are retried (real firmware shifts read
+        # reference voltages and tries again) up to this many extra
+        # attempts before the error propagates to the host.
+        self.read_retry_limit = read_retry_limit
         self.writes_served = 0
         self.reads_served = 0
         self.program_failures = 0
+        self.read_retries = 0
         self._space_low_callbacks = []
 
     def on_space_low(self, callback):
@@ -139,8 +145,17 @@ class PageMappingFtl:
         address = self.table.lookup(lba)
         if address is None:
             raise KeyError(f"lba {lba} was never written")
-        page = yield self.channels[address.channel].read(
-            address.way, address.block, address.page
-        )
-        self.reads_served += 1
-        return page.payload
+        attempt = 0
+        while True:
+            try:
+                page = yield self.channels[address.channel].read(
+                    address.way, address.block, address.page
+                )
+            except UncorrectableError:
+                if attempt >= self.read_retry_limit:
+                    raise
+                attempt += 1
+                self.read_retries += 1
+                continue
+            self.reads_served += 1
+            return page.payload

@@ -27,17 +27,37 @@ class EccFaultModel:
         self.reads_checked = 0
         self.errors_raised = 0
         self._forced = set()
+        self._forced_next = 0
 
     def force_error_at(self, channel, way, block, page):
-        """Make the next read of this exact page fail (deterministic tests)."""
+        """Make every read of this exact page fail (deterministic tests).
+
+        A hard fault: the page stays uncorrectable across read retries,
+        unlike :meth:`force_next_errors` whose injections are transient
+        and can be recovered by a retry.
+        """
         self._forced.add((channel, way, block, page))
+
+    def force_next_errors(self, count=1):
+        """Fail the next ``count`` reads regardless of address.
+
+        This is the schedule-driven injection hook: a fault plan knows
+        *when* a read should fail, not which physical page the FTL will
+        happen to touch.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._forced_next += count
 
     def check_read(self, channel, way, block, page):
         """Called by the channel on every read's cell phase."""
         self.reads_checked += 1
         key = (channel, way, block, page)
+        if self._forced_next:
+            self._forced_next -= 1
+            self.errors_raised += 1
+            raise UncorrectableError(f"injected uncorrectable read at {key}")
         if key in self._forced:
-            self._forced.discard(key)
             self.errors_raised += 1
             raise UncorrectableError(f"forced error at {key}")
         if self.probability and self._rng.random() < self.probability:
@@ -59,13 +79,24 @@ class ProgramFaultModel:
         self.probability = failure_probability
         self._rng = derive(seed, "program-fault")
         self._forced = set()
+        self._forced_next = 0
         self.failures = 0
 
     def force_failure_at(self, channel, way, block):
         self._forced.add((channel, way, block))
 
+    def force_next_failures(self, count=1):
+        """Fail the next ``count`` programs wherever the allocator places them."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._forced_next += count
+
     def should_fail(self, channel, way, block):
         key = (channel, way, block)
+        if self._forced_next:
+            self._forced_next -= 1
+            self.failures += 1
+            return True
         if key in self._forced:
             self._forced.discard(key)
             self.failures += 1

@@ -89,6 +89,17 @@ class NtbBridge:
         # the transport's status register must surface (Section 7.1).
         self.link_up = True
         self.tlps_dropped = 0
+        # Corruption injection: the next N forwarded TLPs are delivered
+        # with a poisoned LCRC (``metadata["corrupted"]``); receivers
+        # discard them, so a corrupted packet behaves like a drop that
+        # *did* consume wire bandwidth.
+        self._corrupt_budget = 0
+        self.tlps_corrupted = 0
+        # Latency-spike injection: packets forwarded before the deadline
+        # pay an extra per-hop delay (a congested switch, a retraining
+        # link) on top of the pipe's base latency.
+        self._spike_extra_ns = 0.0
+        self._spike_until_ns = -1.0
 
     def sever(self):
         """Cut the cable: subsequent packets vanish without error."""
@@ -96,6 +107,19 @@ class NtbBridge:
 
     def restore(self):
         self.link_up = True
+
+    def corrupt_next(self, count=1):
+        """Poison the next ``count`` forwarded TLPs (delivered, then dropped)."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._corrupt_budget += count
+
+    def inject_latency_spike(self, extra_ns, duration_ns):
+        """Add ``extra_ns`` per hop for the next ``duration_ns`` of sim time."""
+        if extra_ns < 0 or duration_ns < 0:
+            raise ValueError("latency spike needs non-negative magnitudes")
+        self._spike_extra_ns = extra_ns
+        self._spike_until_ns = self.engine.now + duration_ns
 
     def peer_of(self, port):
         if port is self.port_a:
@@ -107,25 +131,39 @@ class NtbBridge:
     def forward(self, source_port, tlp):
         """Carry ``tlp`` from ``source_port`` to its peer.
 
-        On a severed link the packet is silently dropped: the returned
-        event still fires (posted writes complete locally regardless),
-        but nothing arrives at the peer.
+        On a severed link the packet is dropped: the returned event still
+        fires (posted writes complete locally regardless), but nothing
+        arrives at the peer.  The event's value tells the sender what the
+        *link layer* observed — the delivered TLP, or ``None`` for a drop
+        — which is what lets the transport run bounded retries without
+        inventing an end-to-end acknowledgement the paper doesn't have.
         """
         if not isinstance(tlp, Tlp):
             raise TypeError(f"expected a Tlp, got {type(tlp).__name__}")
         peer = self.peer_of(source_port)
         pipe = self._pipes[id(source_port)]
+        if self._corrupt_budget > 0:
+            self._corrupt_budget -= 1
+            self.tlps_corrupted += 1
+            tlp.metadata["corrupted"] = True
         done = pipe.transfer(tlp.wire_size)
         delivery = self.engine.event()
 
         def _arrived(_event):
             if self.link_up:
                 peer._deliver(tlp)
+                delivery.succeed(tlp)
             else:
                 self.tlps_dropped += 1
-            delivery.succeed(tlp)
+                delivery.succeed(None)
 
-        done.then(_arrived)
+        def _maybe_delayed(_event):
+            if self.engine.now < self._spike_until_ns:
+                self.engine.timeout(self._spike_extra_ns).then(_arrived)
+            else:
+                _arrived(_event)
+
+        done.then(_maybe_delayed)
         return delivery
 
     def pipe_from(self, port):

@@ -33,6 +33,7 @@ class AdminOpcode(enum.Enum):
     XSSD_SET_PRIMARY = "xssd-set-primary"
     XSSD_SET_SECONDARY = "xssd-set-secondary"
     XSSD_ADD_PEER = "xssd-add-peer"
+    XSSD_REMOVE_PEER = "xssd-remove-peer"
     XSSD_CONFIGURE = "xssd-configure"
     XSSD_QUERY_STATUS = "xssd-query-status"
 

@@ -4,26 +4,10 @@ mid-chain behavior."""
 import pytest
 
 from repro.cluster.topology import replicated_chain
-from repro.core.config import villars_sram
 from repro.core.transport import TransportRole
-from repro.nand.geometry import Geometry
-from repro.nand.timing import NandTiming
 from repro.sim import Engine
-from repro.ssd.device import SsdConfig
 
-
-def config_factory():
-    return villars_sram(
-        ssd=SsdConfig(
-            geometry=Geometry(channels=2, ways_per_channel=2,
-                              blocks_per_die=64, pages_per_block=16,
-                              page_bytes=4096),
-            timing=NandTiming(t_program=50_000.0, t_read=5_000.0,
-                              t_erase=200_000.0, bus_bandwidth=1.0),
-        ),
-        cmb_capacity=64 * 1024,
-        cmb_queue_bytes=8 * 1024,
-    )
+from tests.conftest import cluster_config_factory as config_factory
 
 
 def make_chain(secondaries):

@@ -2,35 +2,16 @@
 
 import pytest
 
-from repro.core.config import VillarsConfig, villars_dram, villars_sram
+from repro.core.config import VillarsConfig
 from repro.core.crash import PowerLossInjector
-from repro.core.device import XssdDevice
-from repro.nand.geometry import Geometry
-from repro.nand.timing import NandTiming
-from repro.sim import Engine
-from repro.ssd.device import SsdConfig
 from repro.ssd.nvme import AdminOpcode
 from repro.ssd.scheduler import SchedulingMode
 
-
-def small_ssd_config():
-    return SsdConfig(
-        geometry=Geometry(channels=2, ways_per_channel=2, blocks_per_die=32,
-                          pages_per_block=16, page_bytes=4096),
-        timing=NandTiming(t_program=50_000.0, t_read=5_000.0,
-                          t_erase=200_000.0, bus_bandwidth=1.0),
-    )
+from tests.conftest import make_xssd_device
 
 
 def make_device(kind="sram", **overrides):
-    engine = Engine()
-    factory = villars_sram if kind == "sram" else villars_dram
-    config = factory(ssd=small_ssd_config(),
-                     cmb_capacity=64 * 1024,
-                     cmb_queue_bytes=4 * 1024,
-                     **overrides)
-    device = XssdDevice(engine, config).start()
-    return engine, device
+    return make_xssd_device(cmb_queue_bytes=4 * 1024, kind=kind, **overrides)
 
 
 def test_invalid_backing_kind_rejected():

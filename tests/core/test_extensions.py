@@ -3,30 +3,15 @@ segmentation, and replication-failure detection."""
 
 import pytest
 
-from repro.core.config import villars_sram
-from repro.core.device import XssdDevice
 from repro.core.multiwriter import MultiWriterCmb
 from repro.core.virtualization import SegmentedCmb
-from repro.nand.geometry import Geometry
-from repro.nand.timing import NandTiming
 from repro.sim import Engine
-from repro.ssd.device import SsdConfig
+
+from tests.conftest import make_xssd_device
 
 
 def make_device(engine=None):
-    engine = engine or Engine()
-    config = villars_sram(
-        ssd=SsdConfig(
-            geometry=Geometry(channels=2, ways_per_channel=2,
-                              blocks_per_die=32, pages_per_block=16,
-                              page_bytes=4096),
-            timing=NandTiming(t_program=50_000.0, t_read=5_000.0,
-                              t_erase=200_000.0, bus_bandwidth=1.0),
-        ),
-        cmb_capacity=64 * 1024,
-        cmb_queue_bytes=8 * 1024,
-    )
-    return engine, XssdDevice(engine, config).start()
+    return make_xssd_device(engine=engine)
 
 
 class TestMultiWriter:

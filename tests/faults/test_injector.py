@@ -1,0 +1,137 @@
+"""Injector dispatch: each fault kind drives its device-layer hook."""
+
+import pytest
+
+from repro.cluster.topology import replicated_chain
+from repro.faults.injector import ChaosInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.scenario import chaos_config_factory
+from repro.sim import Engine
+
+
+def make_chain(seed=1, secondaries=2):
+    engine = Engine()
+    cluster = replicated_chain(engine, chaos_config_factory(seed),
+                               secondaries=secondaries)
+    return engine, cluster
+
+
+def run_plan(engine, cluster, plan, until=3_000_000.0, **kwargs):
+    injector = ChaosInjector(engine, cluster, plan, **kwargs)
+    injector.start()
+    # Cluster setup already advanced the clock; run a relative window so
+    # every plan time is safely behind us when the window closes.
+    engine.run(until=engine.now + until)
+    return injector
+
+
+def test_arming_faults_reach_their_hooks():
+    engine, cluster = make_chain()
+    plan = FaultPlan([
+        FaultSpec(1000.0, "secondary-1", FaultKind.CMB_TORN_WRITE,
+                  {"count": 2}),
+        FaultSpec(1000.0, "secondary-2", FaultKind.NAND_PROGRAM_FAIL,
+                  {"count": 3}),
+        FaultSpec(1000.0, "secondary-2", FaultKind.NAND_READ_UNCORRECTABLE),
+        FaultSpec(1000.0, "bridge-0", FaultKind.LINK_CORRUPT, {"count": 2}),
+        FaultSpec(1000.0, "bridge-1", FaultKind.LINK_LATENCY_SPIKE,
+                  {"extra_ns": 7000.0, "duration_ns": 90_000.0}),
+    ])
+    injector = run_plan(engine, cluster, plan, until=2000.0)
+
+    s1 = cluster.servers["secondary-1"].device
+    s2 = cluster.servers["secondary-2"].device
+    assert s1.cmb._torn_armed == 2
+    assert s2.conventional.config.program_fault_model._forced_next == 3
+    assert s2.conventional.config.read_fault_model._forced_next == 1
+    assert cluster.bridges[0]._corrupt_budget == 2
+    assert cluster.bridges[1]._spike_extra_ns == 7000.0
+    # Cluster setup may have advanced the clock past the plan time, in
+    # which case the spec applies immediately; anchor on the logged time.
+    spike_applied = [entry["time_ns"] for entry in injector.fault_log
+                     if entry["kind"] == "link-latency-spike"]
+    assert cluster.bridges[1]._spike_until_ns == spike_applied[0] + 90_000.0
+
+
+def test_link_down_up_cycle_restores_and_resyncs():
+    engine, cluster = make_chain()
+    plan = FaultPlan([
+        FaultSpec(1000.0, "bridge-0", FaultKind.LINK_DOWN),
+        FaultSpec(500_000.0, "bridge-0", FaultKind.LINK_UP),
+    ])
+    injector = run_plan(engine, cluster, plan, until=600_000.0)
+    assert cluster.bridges[0].link_up
+    kinds = [entry["kind"] for entry in injector.fault_log]
+    assert kinds == ["link-down", "link-up"]
+    assert "resynced" in injector.fault_log[1]["detail"]
+
+
+def test_supercap_fail_marks_reserve_energy():
+    engine, cluster = make_chain()
+    plan = FaultPlan([
+        FaultSpec(1000.0, "secondary-1", FaultKind.SUPERCAP_FAIL),
+    ])
+    run_plan(engine, cluster, plan, until=2000.0)
+    server = cluster.servers["secondary-1"]
+    assert server.power.reserve_energy_ok is False
+    report = server.crash()
+    assert report.reserve_energy_ok is False
+
+
+def test_replica_crash_records_report_and_reconfigures():
+    engine, cluster = make_chain()
+    plan = FaultPlan([
+        FaultSpec(1000.0, "secondary-1", FaultKind.REPLICA_CRASH),
+    ])
+    injector = run_plan(engine, cluster, plan, until=3_000_000.0,
+                        grace_ns=500_000.0)
+    assert cluster.servers["secondary-1"].device.halted
+    assert "secondary-1" in injector.crash_reports
+    # With no rejoin scheduled, the chain splices the dead server out.
+    assert cluster.order == ["primary", "secondary-2"]
+    assert injector.fault_log[-1]["kind"] == "chain-reconfigure"
+
+
+def test_replica_crash_with_scheduled_rejoin_keeps_the_chain():
+    engine, cluster = make_chain()
+    plan = FaultPlan([
+        FaultSpec(1000.0, "secondary-1", FaultKind.REPLICA_CRASH),
+        FaultSpec(2_000_000.0, "secondary-1", FaultKind.REPLICA_REJOIN),
+    ])
+    injector = run_plan(engine, cluster, plan, until=3_000_000.0,
+                        grace_ns=500_000.0)
+    assert cluster.order == ["primary", "secondary-1", "secondary-2"]
+    assert not cluster.servers["secondary-1"].device.halted
+    assert injector.fault_log[-1]["kind"] == "replica-rejoin"
+    assert "rejoined" in injector.fault_log[-1]["detail"]
+
+
+def test_crash_when_already_down_is_skipped():
+    engine, cluster = make_chain()
+    plan = FaultPlan([
+        FaultSpec(1000.0, "secondary-2", FaultKind.REPLICA_CRASH),
+        FaultSpec(2000.0, "secondary-2", FaultKind.REPLICA_CRASH),
+        FaultSpec(3000.0, "secondary-2", FaultKind.REPLICA_REJOIN),
+    ])
+    injector = run_plan(engine, cluster, plan, until=10_000.0)
+    details = [entry["detail"] for entry in injector.fault_log]
+    assert "skipped: already down" in details[1]
+    assert len(injector.crash_reports) == 1
+
+
+def test_unknown_site_fails_the_run():
+    engine, cluster = make_chain()
+    plan = FaultPlan([
+        FaultSpec(1000.0, "no-such-server", FaultKind.REPLICA_CRASH),
+    ])
+    ChaosInjector(engine, cluster, plan).start()
+    with pytest.raises(KeyError):
+        engine.run(until=2000.0)
+
+
+def test_injector_cannot_start_twice():
+    engine, cluster = make_chain()
+    injector = ChaosInjector(engine, cluster, FaultPlan())
+    injector.start()
+    with pytest.raises(RuntimeError):
+        injector.start()

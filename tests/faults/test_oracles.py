@@ -1,0 +1,195 @@
+"""Oracle checkers: each must accept honest state and reject tampering."""
+
+import pytest
+
+from repro.core.crash import CrashReport
+from repro.faults.oracles import (
+    OracleViolation,
+    StreamRecorder,
+    assert_oracles,
+    check_durable_prefix,
+    check_ftl_integrity,
+    check_no_lost_acks,
+    check_replica_prefix,
+    check_visible_counter_bound,
+)
+
+from tests.conftest import cluster_config_factory, make_xssd_device
+
+
+class _StubCmb:
+    def tap_intake(self, callback):
+        pass
+
+    def watch_credit(self, callback):
+        pass
+
+
+class _StubDevice:
+    def __init__(self):
+        self.cmb = _StubCmb()
+        self.name = "stub"
+
+
+def make_recorder(name, chunks):
+    recorder = StreamRecorder(_StubDevice(), name=name)
+    for offset, nbytes, payload in chunks:
+        recorder.chunks.append((0.0, offset, nbytes, payload))
+    return recorder
+
+
+class _Page:
+    def __init__(self, stream_offset, chunks, end_offset):
+        self.stream_offset = stream_offset
+        self.chunks = chunks
+        self.end_offset = end_offset
+
+
+def report(durable_offset, reserve_energy_ok=True, credit_at_crash=0):
+    return CrashReport(
+        at_time=0.0, queue_bytes_salvaged=0, pages_destaged=0,
+        chunks_lost_beyond_gap=0, durable_offset=durable_offset,
+        reserve_energy_ok=reserve_energy_ok,
+        credit_at_crash=credit_at_crash,
+    )
+
+
+def test_assert_oracles_merges_and_raises():
+    assert_oracles([], [])  # clean: no exception
+    with pytest.raises(OracleViolation) as excinfo:
+        assert_oracles(["a broke"], [], ["b broke"])
+    assert excinfo.value.violations == ["a broke", "b broke"]
+
+
+def test_recorder_coverage_merges_intervals():
+    recorder = make_recorder("r", [(0, 100, "a"), (100, 50, "b"),
+                                   (300, 10, "c"), (305, 20, "d")])
+    assert recorder.coverage() == [(0, 150), (300, 325)]
+
+
+def test_durable_prefix_accepts_contiguous_pages():
+    pages = [
+        _Page(0, [(0, 100, "a"), (100, 28, "b")], 128),
+        _Page(128, [(128, 128, "c")], 256),
+    ]
+    assert check_durable_prefix(report(256, credit_at_crash=200), pages) == []
+
+
+def test_durable_prefix_rejects_inter_page_gap():
+    pages = [
+        _Page(0, [(0, 128, "a")], 128),
+        _Page(192, [(192, 64, "b")], 256),  # hole at 128..192
+    ]
+    violations = check_durable_prefix(report(256), pages)
+    assert any("does not continue prefix" in v for v in violations)
+
+
+def test_durable_prefix_rejects_intra_page_hole():
+    pages = [_Page(0, [(0, 50, "a"), (80, 48, "b")], 128)]
+    violations = check_durable_prefix(report(128), pages)
+    assert any("leaves a hole" in v for v in violations)
+
+
+def test_durable_prefix_rejects_report_mismatch():
+    pages = [_Page(0, [(0, 128, "a")], 128)]
+    violations = check_durable_prefix(report(999), pages)
+    assert any("claims durable_offset" in v for v in violations)
+
+
+def test_durable_prefix_enforces_credit_only_with_reserve_energy():
+    # Working supercap: durable prefix below the acknowledged credit is
+    # a broken promise.
+    violations = check_durable_prefix(
+        report(128, reserve_energy_ok=True, credit_at_crash=500),
+        [_Page(0, [(0, 128, "a")], 128)],
+    )
+    assert any("despite working reserve energy" in v for v in violations)
+    # Failed supercap: the same shortfall is waived.
+    assert check_durable_prefix(
+        report(128, reserve_energy_ok=False, credit_at_crash=500),
+        [_Page(0, [(0, 128, "a")], 128)],
+    ) == []
+
+
+def test_no_lost_acks_detects_loss_and_fabrication():
+    acknowledged = {"k1": "v3", "k2": "v5"}
+    written = {"k1": {"v1", "v3"}, "k2": {"v5"}}
+    assert check_no_lost_acks({"k1": "v3", "k2": "v5"},
+                              acknowledged, written) == []
+    # An older-but-written value still satisfies the oracle (recovery may
+    # surface an earlier acknowledged write for the same key).
+    assert check_no_lost_acks({"k1": "v1", "k2": "v5"},
+                              acknowledged, written) == []
+    lost = check_no_lost_acks({"k2": "v5"}, acknowledged, written)
+    assert any("missing after recovery" in v for v in lost)
+    fabricated = check_no_lost_acks({"k1": "v99", "k2": "v5"},
+                                    acknowledged, written)
+    assert any("never written" in v for v in fabricated)
+
+
+def test_replica_prefix_accepts_contained_chunks():
+    payload = "shared-payload"
+    primary = make_recorder("primary", [(0, 100, payload), (100, 100, "p2")])
+    secondary = make_recorder("secondary", [(0, 100, payload)])
+    assert check_replica_prefix(primary, secondary,
+                                secondary_credit=100) == []
+
+
+def test_replica_prefix_rejects_diverging_content():
+    primary = make_recorder("primary", [(0, 100, "authentic")])
+    secondary = make_recorder("secondary", [(0, 100, "forged")])
+    violations = check_replica_prefix(primary, secondary,
+                                      secondary_credit=0)
+    assert any("never sent with that payload" in v.replace("\n", " ")
+               or "never sent" in v for v in violations)
+
+
+def test_replica_prefix_rejects_frontier_beyond_primary():
+    primary = make_recorder("primary", [(0, 100, "a")])
+    secondary = make_recorder("secondary", [(0, 100, "a")])
+    violations = check_replica_prefix(primary, secondary,
+                                      secondary_credit=400)
+    assert any("only emitted a contiguous prefix" in v for v in violations)
+
+
+def test_ftl_integrity_clean_device_and_tampered_reverse_map():
+    engine, device = make_xssd_device()
+
+    def proc():
+        yield device.conventional.write(7, "payload")
+
+    engine.process(proc())
+    engine.run(until=1_000_000.0)
+    assert check_ftl_integrity(device) == []
+
+    table = device.conventional.ftl.table
+    # Tamper: break forward/reverse mirroring.
+    (lba, address), = list(table._forward.items())
+    key = (address.channel, address.way, address.block, address.page)
+    table._reverse[key] = lba + 1
+    violations = check_ftl_integrity(device)
+    assert violations
+
+
+def test_visible_counter_bound_on_live_pair():
+    from repro.cluster.topology import replicated_pair
+    from repro.sim import Engine
+
+    engine = Engine()
+    cluster = replicated_pair(engine, cluster_config_factory,
+                              policy="eager")
+    primary = cluster.primary
+
+    def proc():
+        yield primary.log.x_pwrite("bounded", 512)
+        yield primary.log.x_fsync()
+
+    engine.process(proc())
+    engine.run(until=engine.now + 100_000_000.0)
+    assert check_visible_counter_bound(cluster) == []
+
+    # Tamper: push the shadow beyond the secondary's actual credit.
+    shadow = primary.device.transport.shadow_counters["secondary"]
+    shadow.set_at_least(10 ** 9)
+    violations = check_visible_counter_bound(cluster)
+    assert any("exceeds its actual credit" in v for v in violations)

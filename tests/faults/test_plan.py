@@ -1,0 +1,106 @@
+"""Fault-plan data model: ordering, round-trips, seeded generation."""
+
+import pytest
+
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec, SERVER_SITED_KINDS
+
+
+def test_specs_sort_by_time():
+    plan = FaultPlan([
+        FaultSpec(3000.0, "secondary-1", FaultKind.SUPERCAP_FAIL),
+        FaultSpec(1000.0, "bridge-0", FaultKind.LINK_DOWN),
+        FaultSpec(2000.0, "bridge-0", FaultKind.LINK_UP),
+    ])
+    assert [spec.time_ns for spec in plan] == [1000.0, 2000.0, 3000.0]
+
+
+def test_add_keeps_order_and_chains():
+    plan = FaultPlan()
+    result = plan.add(500.0, "secondary-1", FaultKind.CMB_TORN_WRITE)
+    plan.add(100.0, "bridge-0", FaultKind.LINK_CORRUPT, count=2)
+    assert result is plan
+    assert [spec.kind for spec in plan] == [
+        FaultKind.LINK_CORRUPT, FaultKind.CMB_TORN_WRITE]
+    assert plan.specs[0].params == {"count": 2}
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        FaultSpec(-1.0, "bridge-0", FaultKind.LINK_DOWN)
+
+
+def test_kind_coerced_from_string():
+    spec = FaultSpec(0.0, "secondary-1", "replica-crash")
+    assert spec.kind is FaultKind.REPLICA_CRASH
+
+
+def test_dict_round_trip_preserves_everything():
+    original = FaultPlan([
+        FaultSpec(100.0, "secondary-2", FaultKind.NAND_PROGRAM_FAIL,
+                  {"count": 2}),
+        FaultSpec(200.0, "bridge-1", FaultKind.LINK_LATENCY_SPIKE,
+                  {"extra_ns": 9000.0, "duration_ns": 50_000.0}),
+    ])
+    restored = FaultPlan.from_dicts(original.as_dicts())
+    assert restored.as_dicts() == original.as_dicts()
+
+
+def test_json_round_trip_via_string_and_file(tmp_path):
+    plan = FaultPlan([
+        FaultSpec(123.0, "bridge-0", FaultKind.LINK_DOWN),
+        FaultSpec(456.0, "bridge-0", FaultKind.LINK_UP),
+    ])
+    assert FaultPlan.from_json(plan.to_json()).as_dicts() == plan.as_dicts()
+    path = tmp_path / "plan.json"
+    plan.to_json(str(path))
+    assert FaultPlan.from_json(str(path)).as_dicts() == plan.as_dicts()
+
+
+def test_later_specs_filters():
+    plan = FaultPlan([
+        FaultSpec(100.0, "secondary-1", FaultKind.REPLICA_CRASH),
+        FaultSpec(300.0, "secondary-1", FaultKind.REPLICA_REJOIN),
+        FaultSpec(300.0, "secondary-2", FaultKind.REPLICA_REJOIN),
+    ])
+    later = plan.later_specs(100.0, kind=FaultKind.REPLICA_REJOIN,
+                             site="secondary-1")
+    assert len(later) == 1
+    assert later[0].site == "secondary-1"
+    assert plan.later_specs(300.0) == []
+
+
+def test_random_plan_is_seed_deterministic():
+    kwargs = dict(duration_ns=8e6, secondary_names=["secondary-1",
+                                                    "secondary-2"],
+                  bridge_count=2, events=8)
+    a = FaultPlan.random(11, **kwargs)
+    b = FaultPlan.random(11, **kwargs)
+    c = FaultPlan.random(12, **kwargs)
+    assert a.as_dicts() == b.as_dicts()
+    assert a.as_dicts() != c.as_dicts()
+
+
+def test_random_plan_respects_window_and_pairing():
+    duration = 8e6
+    for seed in range(20):
+        plan = FaultPlan.random(seed, duration,
+                                ["secondary-1", "secondary-2"],
+                                bridge_count=2, events=6)
+        downs = [s for s in plan if s.kind is FaultKind.LINK_DOWN]
+        ups = [s for s in plan if s.kind is FaultKind.LINK_UP]
+        assert len(ups) == len(downs)
+        for spec in plan:
+            assert 0.05 * duration <= spec.time_ns <= 0.95 * duration
+            if spec.kind in SERVER_SITED_KINDS:
+                assert spec.site.startswith("secondary-")
+            else:
+                assert spec.site.startswith("bridge-")
+
+
+def test_random_plan_include_kinds_restricts():
+    plan = FaultPlan.random(
+        3, 8e6, ["secondary-1"], bridge_count=1, events=10,
+        include_kinds=[FaultKind.CMB_TORN_WRITE],
+    )
+    assert plan.kinds() <= {FaultKind.CMB_TORN_WRITE}
+    assert len(plan) > 0

@@ -2,29 +2,13 @@
 
 import pytest
 
-from repro.core.config import villars_sram
-from repro.core.device import XssdDevice
 from repro.host.api import XssdLogFile
-from repro.nand.geometry import Geometry
-from repro.nand.timing import NandTiming
-from repro.sim import Engine
-from repro.ssd.device import SsdConfig
+
+from tests.conftest import make_xssd_device
 
 
 def make_device(queue_bytes=4 * 1024, copy_chunk=64):
-    engine = Engine()
-    config = villars_sram(
-        ssd=SsdConfig(
-            geometry=Geometry(channels=2, ways_per_channel=2,
-                              blocks_per_die=32, pages_per_block=16,
-                              page_bytes=4096),
-            timing=NandTiming(t_program=50_000.0, t_read=5_000.0,
-                              t_erase=200_000.0, bus_bandwidth=1.0),
-        ),
-        cmb_capacity=64 * 1024,
-        cmb_queue_bytes=queue_bytes,
-    )
-    device = XssdDevice(engine, config).start()
+    engine, device = make_xssd_device(cmb_queue_bytes=queue_bytes)
     log = XssdLogFile(device, copy_chunk=copy_chunk)
     return engine, device, log
 

@@ -2,34 +2,11 @@
 
 import pytest
 
-from repro.core.config import villars_sram
-from repro.core.device import XssdDevice
 from repro.core.multiwriter import MultiWriterCmb
 from repro.host.alloc import CmbAllocator
 from repro.host.api import XssdLogFile
-from repro.nand.geometry import Geometry
-from repro.nand.timing import NandTiming
-from repro.sim import Engine
-from repro.ssd.device import SsdConfig
 
-
-def make_device():
-    engine = Engine()
-    device = XssdDevice(
-        engine,
-        villars_sram(
-            ssd=SsdConfig(
-                geometry=Geometry(channels=2, ways_per_channel=2,
-                                  blocks_per_die=32, pages_per_block=16,
-                                  page_bytes=4096),
-                timing=NandTiming(t_program=50_000.0, t_read=5_000.0,
-                                  t_erase=200_000.0, bus_bandwidth=1.0),
-            ),
-            cmb_capacity=64 * 1024,
-            cmb_queue_bytes=8 * 1024,
-        ),
-    ).start()
-    return engine, device
+from tests.conftest import make_xssd_device as make_device
 
 
 def test_claim_stream_range_is_monotone_and_disjoint():

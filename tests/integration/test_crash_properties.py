@@ -8,56 +8,16 @@ never a lost acknowledged commit.
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core.config import villars_sram
 from repro.core.crash import PowerLossInjector
-from repro.core.device import XssdDevice
 from repro.db.engine import Database
 from repro.db.log_record import RecordKind
 from repro.db.recovery import extract_records, recover_from_pages
 from repro.host.api import XssdLogFile
 from repro.host.baselines import NoLogFile
-from repro.nand.geometry import Geometry
-from repro.nand.timing import NandTiming
 from repro.sim import Engine
-from repro.ssd.device import SsdConfig
 
-
-def build(group_commit_bytes):
-    engine = Engine()
-    device = XssdDevice(
-        engine,
-        villars_sram(
-            ssd=SsdConfig(
-                geometry=Geometry(channels=2, ways_per_channel=2,
-                                  blocks_per_die=64, pages_per_block=16,
-                                  page_bytes=4096),
-                timing=NandTiming(t_program=50_000.0, t_read=5_000.0,
-                                  t_erase=200_000.0, bus_bandwidth=1.0),
-            ),
-            cmb_capacity=64 * 1024,
-            cmb_queue_bytes=8 * 1024,
-        ),
-    ).start()
-    log = XssdLogFile(device)
-    database = Database(engine, log, group_commit_bytes=group_commit_bytes,
-                        group_commit_timeout_ns=15_000.0)
-    database.create_table("kv")
-    return engine, device, database
-
-
-def collect_pages(engine, device):
-    pages = []
-
-    def reader():
-        destage = device.destage
-        for sequence in range(destage.head_sequence, destage.durable_tail):
-            page = yield destage.read_page(sequence)
-            pages.append(page)
-
-    done = engine.process(reader())
-    engine.run(until=engine.now + 5e9)
-    assert done.triggered
-    return pages
+from tests.conftest import build_logging_device as build
+from tests.conftest import collect_destaged_pages as collect_pages
 
 
 @given(
