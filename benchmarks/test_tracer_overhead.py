@@ -1,0 +1,75 @@
+"""Disabled-tracer overhead: the subsystem must be free when off.
+
+Every hot path guards its instrumentation with one attribute load and a
+truthiness check (``tracer = self.engine.tracer; if tracer.enabled:``),
+so with no capture active the kernel's measured speedup-vs-seed must stay
+within noise of the ratios frozen in ``BENCH_kernel.json`` before the
+tracer existed.  The ratio is self-normalising — current and seed kernels
+run in the same process — so host noise mostly cancels; the 5% band is
+the acceptance bound from the tracing-subsystem issue.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.kernel import run_kernel_bench
+from repro.obs import capture
+from repro.sim import NULL_TRACER, Engine
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_kernel.json"
+
+BENCH_EVENTS = 100_000
+
+# Fraction of the frozen speedup ratio the live measurement must retain.
+ALLOWED_OVERHEAD = 0.05
+
+
+def frozen_ratios():
+    payload = json.loads(BASELINE_PATH.read_text())
+    return {row["workload"]: row["speedup_vs_seed"]
+            for row in payload["rows"]}
+
+
+def test_disabled_tracer_is_the_shared_null_singleton():
+    """The overhead claim rests on this: outside a capture, every engine
+    shares one never-enabled tracer, so guards cost one load + branch."""
+    assert Engine().tracer is NULL_TRACER
+    assert not NULL_TRACER.enabled
+
+
+@pytest.mark.parametrize("workload", ["same-instant", "event-churn",
+                                      "timeout-heavy"])
+def test_kernel_speedup_within_five_percent_of_frozen(run_once, workload):
+    baseline = frozen_ratios()[workload]
+    rows = run_once(run_kernel_bench, events=BENCH_EVENTS,
+                    workloads=(workload,))
+    (row,) = rows
+    retained = row["speedup_vs_seed"] / baseline
+    assert retained >= 1.0 - ALLOWED_OVERHEAD, (
+        f"{workload}: speedup_vs_seed {row['speedup_vs_seed']:.2f} is "
+        f"{(1 - retained) * 100:.1f}% below the frozen "
+        f"{baseline:.2f} — disabled-tracer overhead exceeds "
+        f"{ALLOWED_OVERHEAD:.0%}"
+    )
+
+
+def test_enabled_tracer_cost_is_bounded(run_once):
+    """Not an acceptance bound — a canary.  With a capture active the
+    kernel bench must still complete and stay within 2x of the disabled
+    rate (the kernel itself emits no events; only engine construction
+    touches the tracer factory)."""
+    disabled = run_kernel_bench(events=BENCH_EVENTS,
+                                workloads=("same-instant",),
+                                baseline=False)[0]["events_per_sec"]
+
+    def enabled_run():
+        with capture():
+            return run_kernel_bench(events=BENCH_EVENTS,
+                                    workloads=("same-instant",),
+                                    baseline=False)[0]["events_per_sec"]
+
+    enabled = run_once(enabled_run)
+    assert enabled >= disabled / 2.0

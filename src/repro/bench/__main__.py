@@ -10,12 +10,16 @@ Usage::
     python -m repro.bench all
     python -m repro.bench kernel [--events 200000] [--repeat 3]
     python -m repro.bench chaos [--seed 7] [--faults plan.json]
+    python -m repro.bench trace [--scenario chain|fig09|chaos] [--out t.json]
 
 Every subcommand accepts ``--jobs N`` (fan the figure's independent cells
 over N worker processes; 0 = one per core) and ``--json PATH`` (also write
-the structured rows as JSON, e.g. ``BENCH_fig09.json``).  Figure-specific
-flags live on their own subparser, so a flag that a figure does not
-understand is an error instead of being silently ignored.
+the structured rows as JSON, e.g. ``BENCH_fig09.json``).  Figure and chaos
+subcommands also accept ``--trace PATH``, which captures a Perfetto-loadable
+Chrome trace of the whole run (serial execution is forced, since pool
+workers' engines live out of the tracer's reach).  Figure-specific flags
+live on their own subparser, so a flag that a figure does not understand is
+an error instead of being silently ignored.
 
 Prints the same tables the pytest benchmarks print, without requiring
 pytest — handy for quick sweeps with custom parameters.
@@ -149,6 +153,7 @@ def _chaos(args):
         plan=plan,
         fault_events=getattr(args, "fault_events", 6),
         transactions=getattr(args, "txns", 160),
+        collect_snapshots=True,
     )
     print(f"chaos run: seed={result['seed']} "
           f"chain={'->'.join(result['chain_order'])} "
@@ -166,8 +171,43 @@ def _chaos(args):
           f"transactions recovered: {result['transactions_recovered']}, "
           f"ok: {result['ok']}")
     if not result["ok"]:
+        _dump_chaos_diagnostics(result)
         raise SystemExit(1)
     return result
+
+
+def _dump_chaos_diagnostics(result):
+    """On an oracle violation, dump post-crash device state (and, when a
+    trace capture is active, the tail of the event log) to stderr."""
+    from repro.core.metrics import format_snapshot
+    from repro.obs.trace import current_session
+
+    print("\noracle violation — post-crash device snapshots:",
+          file=sys.stderr)
+    for name, snapshot in sorted(result.get("snapshots", {}).items()):
+        print(f"\n[{name}]", file=sys.stderr)
+        print(format_snapshot(snapshot, indent=1), file=sys.stderr)
+    session = current_session()
+    if session is not None:
+        print("\ntrace tail (most recent events last):", file=sys.stderr)
+        for line in session.tail(limit=40):
+            print(f"  {line}", file=sys.stderr)
+
+
+def _trace(args):
+    from repro.bench.trace_cmd import run_trace
+
+    metadata, summary = run_trace(
+        scenario=getattr(args, "scenario", "chain"),
+        out_path=getattr(args, "out", "trace.json"),
+        summary_path=getattr(args, "summary", None),
+        csv_path=getattr(args, "csv", None),
+        seed=getattr(args, "seed", 7),
+        secondaries=getattr(args, "secondaries", 2),
+        transactions=getattr(args, "txns", None),
+        duration_ns=(getattr(args, "duration_ms", None) or 0) * 1e6 or None,
+    )
+    return [{"metadata": metadata, "summary": summary}]
 
 
 FIGURES = {
@@ -192,6 +232,9 @@ def _add_common_flags(sub):
                           "(0 = one per core; default: serial)")
     sub.add_argument("--json", metavar="PATH", default=None,
                      help="also write the structured rows as JSON to PATH")
+    sub.add_argument("--trace", metavar="PATH", default=None,
+                     help="capture a Chrome trace-event file of the run to "
+                          "PATH (forces serial execution)")
 
 
 def build_parser():
@@ -257,6 +300,27 @@ def build_parser():
     chaos.add_argument("--txns", type=int, default=160,
                        help="transactions in the primary workload")
 
+    trace = subparsers.add_parser(
+        "trace", help="capture a full-stack trace of one scenario")
+    trace.add_argument("--scenario", choices=["chain", "fig09", "chaos"],
+                       default="chain",
+                       help="what to trace (default: replicated chain)")
+    trace.add_argument("--out", metavar="PATH", default="trace.json",
+                       help="Chrome trace-event output file")
+    trace.add_argument("--summary", metavar="PATH", default=None,
+                       help="also write the per-stage latency summary JSON")
+    trace.add_argument("--csv", metavar="PATH", default=None,
+                       help="also write the per-stage summary as CSV")
+    trace.add_argument("--seed", type=int, default=7,
+                       help="scenario seed")
+    trace.add_argument("--secondaries", type=int, default=2,
+                       help="chain length behind the primary "
+                            "(chain/chaos scenarios)")
+    trace.add_argument("--txns", type=int, default=None,
+                       help="override the scenario's transaction count")
+    trace.add_argument("--duration-ms", type=float, default=None,
+                       help="override the scenario's time budget")
+
     for sub in (fig09, fig10, fig11, fig12, fig13, kernel, chaos,
                 subparsers.choices["all"]):
         _add_common_flags(sub)
@@ -270,20 +334,50 @@ def _write_json(path, figure, rows):
         handle.write("\n")
 
 
+def _capturing(trace_path, figure, body):
+    """Run ``body()`` under a trace capture when ``trace_path`` is set."""
+    if not trace_path:
+        return body()
+    from repro.obs import capture, write_chrome_trace
+
+    with capture() as session:
+        try:
+            return body()
+        finally:
+            # Written even when the run fails (a chaos oracle violation
+            # raises SystemExit): the trace of a failing run is exactly
+            # the artifact worth keeping.
+            write_chrome_trace(trace_path, session.tracers,
+                               label=f"bench:{figure}")
+            print(f"trace: {session.events_recorded} events -> {trace_path}",
+                  file=sys.stderr)
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     json_path = getattr(args, "json", None)
+    trace_path = getattr(args, "trace", None)
+    if trace_path and getattr(args, "jobs", None) not in (None, 1):
+        # Worker processes build their engines out of the tracer's reach;
+        # tracing implies the serial path so every engine is captured.
+        print("note: --trace forces serial execution (--jobs ignored)",
+              file=sys.stderr)
+        args.jobs = None
     if args.figure == "all":
-        all_rows = {}
-        for name, runner in FIGURES.items():
-            all_rows[name] = runner(args)
-            print()
+        def body():
+            all_rows = {}
+            for name, runner in FIGURES.items():
+                all_rows[name] = runner(args)
+                print()
+            return all_rows
+
+        all_rows = _capturing(trace_path, "all", body)
         if json_path:
             _write_json(json_path, "all", all_rows)
     else:
-        extras = {"kernel": _kernel, "chaos": _chaos}
+        extras = {"kernel": _kernel, "chaos": _chaos, "trace": _trace}
         runner = extras.get(args.figure) or FIGURES[args.figure]
-        rows = runner(args)
+        rows = _capturing(trace_path, args.figure, lambda: runner(args))
         if json_path:
             _write_json(json_path, args.figure, rows)
     return 0

@@ -30,7 +30,8 @@ def load_plan(path):
 
 
 def run_chaos_bench(seed=7, secondaries=2, duration_ns=8_000_000.0,
-                    plan=None, fault_events=6, transactions=160):
+                    plan=None, fault_events=6, transactions=160,
+                    collect_snapshots=False):
     """Run one chaos scenario and flatten the result into report rows."""
     result = run_chaos(
         seed=seed,
@@ -39,6 +40,7 @@ def run_chaos_bench(seed=7, secondaries=2, duration_ns=8_000_000.0,
         plan=plan,
         fault_events=fault_events,
         transactions=transactions,
+        collect_snapshots=collect_snapshots,
     )
     rows = [
         {

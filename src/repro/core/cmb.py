@@ -41,6 +41,9 @@ class CmbModule:
                                       init=queue_bytes)
         self._intake_taps = []
         self._credit_watchers = []
+        # Tracing: open intake spans keyed by stream offset (one span
+        # covers a chunk's life from PCIe arrival to persistence).
+        self._trace_tokens = {}
         # The chunk the drain is currently persisting; it still occupies
         # SRAM until the PM write completes, so the crash path can salvage
         # it (reserve energy finishes the move).
@@ -110,12 +113,23 @@ class CmbModule:
         """
         if nbytes <= 0:
             raise ValueError("chunks must carry at least one byte")
+        tracer = self.engine.tracer
         if self._torn_armed and nbytes > 1:
             self._torn_armed -= 1
             self.torn_writes += 1
             nbytes = nbytes // 2  # the tail never arrived
+            if tracer.enabled:
+                tracer.instant(self.name, "torn-write", flow=offset,
+                               nbytes=nbytes)
         self.bytes_received += nbytes
         self.chunks_received += 1
+        if tracer.enabled:
+            # One span per chunk: arrival on the wire -> persisted in PM.
+            # A retransmission reuses the offset; the superseded span
+            # stays open in the trace, which is exactly what happened.
+            self._trace_tokens[offset] = tracer.begin(
+                self.name, "intake", flow=offset, nbytes=nbytes,
+            )
         for tap in self._intake_taps:
             tap(offset, nbytes, payload)
         return self.engine.process(
@@ -183,13 +197,24 @@ class CmbModule:
             return  # a crash already salvaged the pipeline
         offset, nbytes, payload = self._persisting.pop(0)
         self._queue_space.put(nbytes)
+        tracer = self.engine.tracer
+        token = self._trace_tokens.pop(offset, None)
         try:
             advanced = self.ring.write(offset, nbytes, payload)
         except RingOverflowError:
             self.chunks_discarded += 1
+            if tracer.enabled:
+                tracer.instant(self.name, "chunk-discarded", flow=offset,
+                               nbytes=nbytes)
+                if token is not None:
+                    tracer.end(token, discarded=True)
             return
+        if tracer.enabled and token is not None:
+            tracer.end(token, advanced=advanced)
         if advanced:
             value = self.credit.advance(advanced)
+            if tracer.enabled:
+                tracer.counter(self.name, "credit", value)
             for watcher in self._credit_watchers:
                 watcher(value)
 
@@ -208,6 +233,11 @@ class CmbModule:
     def in_flight_bytes(self):
         """Bytes received but not yet persisted (queue + gaps)."""
         return self.bytes_received - self.credit.value
+
+    @property
+    def queue_free_bytes(self):
+        """Free space left in the SRAM intake queue (flow-control head-room)."""
+        return self._queue_space.level
 
     def drain_pending_to_backing(self):
         """Synchronously flush queue contents into the ring (crash path).

@@ -72,6 +72,8 @@ class DestageModule:
         self._outstanding = 0
         self._completed_pages = {}  # sequence -> DestagePage
         self._inflight_pages = {}  # sequence -> DestagePage (issued)
+        # Tracing: open page-program spans keyed by sequence.
+        self._trace_tokens = {}
         self._running = False
         self._kick = engine.event()
         cmb.watch_credit(lambda _value: self._wake())
@@ -165,6 +167,17 @@ class DestageModule:
         lba = self.lba_ring_start + sequence % self.lba_ring_blocks
         self._outstanding += 1
         self._inflight_pages[sequence] = page
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            # One span per destaged page, issue -> program completion; the
+            # flow id is the page's stream offset, tying it back to the
+            # CMB intake spans of the chunks it bundles.
+            self._trace_tokens[sequence] = tracer.begin(
+                self.name, "page-program", flow=page.stream_offset,
+                sequence=sequence, lba=lba, data_bytes=total,
+                filler_bytes=filler,
+            )
+            tracer.counter(self.name, "outstanding", self._outstanding)
         # The PM ring space is reclaimable as soon as the page is issued:
         # the in-flight program is covered by reserve energy (the crash
         # path emergency-completes issued pages), so the bytes no longer
@@ -186,6 +199,12 @@ class DestageModule:
         """Apply completions in sequence order (prefix rule)."""
         self._outstanding -= 1
         self._inflight_pages.pop(sequence, None)
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            token = self._trace_tokens.pop(sequence, None)
+            if token is not None:
+                tracer.end(token)
+            tracer.counter(self.name, "outstanding", self._outstanding)
         self._completed_pages[sequence] = page
         while self.durable_tail in self._completed_pages:
             applied = self._completed_pages.pop(self.durable_tail)
@@ -195,6 +214,11 @@ class DestageModule:
             # Durable prefix (space was already released at issue time).
             self.destaged_offset = applied.end_offset
         self._wake()
+
+    @property
+    def outstanding_pages(self):
+        """Page programs issued to the scheduler but not yet completed."""
+        return self._outstanding
 
     # -- crash path --------------------------------------------------------------------
 

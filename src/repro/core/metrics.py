@@ -26,7 +26,7 @@ def device_snapshot(device):
             "chunks_received": cmb.chunks_received,
             "credit": cmb.credit.value,
             "in_flight_bytes": cmb.in_flight_bytes,
-            "queue_free_bytes": cmb._queue_space.level,
+            "queue_free_bytes": cmb.queue_free_bytes,
             "ring": {
                 "capacity": ring.capacity,
                 "frontier": ring.frontier,
@@ -44,7 +44,7 @@ def device_snapshot(device):
             "pages_written": destage.pages_written,
             "filler_bytes": destage.filler_bytes_total,
             "destaged_offset": destage.destaged_offset,
-            "outstanding_pages": destage._outstanding,
+            "outstanding_pages": destage.outstanding_pages,
             "ring_window": (destage.head_sequence, destage.durable_tail,
                             destage.tail_sequence),
         },
@@ -93,13 +93,8 @@ def device_snapshot(device):
             "torn_writes": cmb.torn_writes,
             "chunks_discarded": cmb.chunks_discarded,
             "corrupt_dropped": transport.corrupt_dropped,
-            "sends_retried": sum(
-                flow.sends_retried for flow in transport._flows.values()
-            ),
-            "chunks_abandoned": sum(
-                len(flow.chunks_abandoned)
-                for flow in transport._flows.values()
-            ),
+            "sends_retried": transport.sends_retried,
+            "chunks_abandoned": len(transport.chunks_abandoned),
         },
         "link": {
             "tlps_down": conventional.link.tlps_down,

@@ -61,12 +61,13 @@ class MirrorFlow:
     """
 
     def __init__(self, engine, peer_name, ntb_port, retry_limit=4,
-                 retry_backoff_ns=5_000.0):
+                 retry_backoff_ns=5_000.0, name=None):
         self.engine = engine
         self.peer_name = peer_name
         self.ntb_port = ntb_port
         self.retry_limit = retry_limit
         self.retry_backoff_ns = retry_backoff_ns
+        self.name = name or f"mirror->{peer_name}"
         self._backlog = []
         self._kick = engine.event()
         self.bytes_shipped = 0
@@ -88,6 +89,14 @@ class MirrorFlow:
                 yield self._kick
                 continue
             offset, nbytes, payload = self._backlog.pop(0)
+            tracer = self.engine.tracer
+            token = None
+            if tracer.enabled:
+                # One span per mirrored chunk: repackage -> delivered (or
+                # abandoned).  Flow id = stream offset, linking the span
+                # to the primary's intake and the peer's intake.
+                token = tracer.begin(self.name, "mirror-ship", flow=offset,
+                                     nbytes=nbytes)
             yield self.engine.timeout(MIRROR_REPACKAGE_NS)
             attempt = 0
             while self.running:
@@ -101,11 +110,23 @@ class MirrorFlow:
                 delivered = yield self.ntb_port.send(tlp)
                 if delivered is not None:
                     self.bytes_shipped += nbytes
+                    if token is not None:
+                        tracer.end(token, attempts=attempt + 1)
+                        token = None
                     break
                 if attempt >= self.retry_limit:
                     self.chunks_abandoned.append((offset, nbytes))
+                    if token is not None:
+                        tracer.instant(self.name, "chunk-abandoned",
+                                       flow=offset, nbytes=nbytes)
+                        tracer.end(token, abandoned=True,
+                                   attempts=attempt + 1)
+                        token = None
                     break
                 self.sends_retried += 1
+                if token is not None:
+                    tracer.instant(self.name, "send-retried", flow=offset,
+                                   attempt=attempt)
                 yield self.engine.timeout(
                     self.retry_backoff_ns * (2 ** attempt)
                 )
@@ -243,7 +264,8 @@ class TransportModule:
         if not self._tap_installed:
             self.cmb.tap_intake(self._on_local_write)
             self._tap_installed = True
-        flow = MirrorFlow(self.engine, peer_name, port or self.ntb_port)
+        flow = MirrorFlow(self.engine, peer_name, port or self.ntb_port,
+                          name=f"{self.name}->{peer_name}")
         self._flows[peer_name] = flow
         self.shadow_counters[peer_name] = Counter(
             self.engine, name=f"shadow:{peer_name}"
@@ -320,6 +342,7 @@ class TransportModule:
                 self.engine, peer_name, flow.ntb_port,
                 retry_limit=flow.retry_limit,
                 retry_backoff_ns=flow.retry_backoff_ns,
+                name=flow.name,
             )
             fresh.bytes_shipped = flow.bytes_shipped
             self._flows[peer_name] = fresh
@@ -328,6 +351,19 @@ class TransportModule:
     def watch_shadow(self, callback):
         """Register ``callback(peer_name, value)`` on shadow updates."""
         self._shadow_watchers.append(callback)
+
+    # -- aggregate flow statistics ------------------------------------------------------
+
+    @property
+    def sends_retried(self):
+        """Total link-layer retries across all mirror flows."""
+        return sum(flow.sends_retried for flow in self._flows.values())
+
+    @property
+    def chunks_abandoned(self):
+        """Chunks given up after exhausting retries, across all flows."""
+        return [chunk for flow in self._flows.values()
+                for chunk in flow.chunks_abandoned]
 
     # -- primary data path -----------------------------------------------------------
 
@@ -342,14 +378,21 @@ class TransportModule:
     # -- packet receive (both roles) ----------------------------------------------------
 
     def _on_ntb_packet(self, tlp):
+        tracer = self.engine.tracer
         if not self.receiving:
             self.dropped_while_down += 1
+            if tracer.enabled:
+                tracer.instant(self.name, "dropped-while-down",
+                               address=tlp.address)
             return
         if tlp.metadata.get("corrupted"):
             # Failed end-to-end check: the packet never reaches the CMB.
             # Its stream range stays missing until re-shipped, exactly
             # like a drop — but the wire bandwidth was spent.
             self.corrupt_dropped += 1
+            if tracer.enabled:
+                tracer.instant(self.name, "corrupt-dropped",
+                               address=tlp.address)
             return
         kind = tlp.metadata.get("kind")
         if kind == "mirror":
@@ -362,6 +405,9 @@ class TransportModule:
             shadow = self.shadow_counters.get(peer)
             if shadow is not None:
                 shadow.set_at_least(value)
+                if tracer.enabled:
+                    tracer.counter(self.name, f"shadow:{peer}",
+                                   shadow.value)
                 for watcher in self._shadow_watchers:
                     watcher(peer, shadow.value)
         # Unknown kinds are ignored (forward compatibility).
@@ -377,6 +423,10 @@ class TransportModule:
                 continue
             last_sent = value
             self.counter_updates_sent += 1
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                tracer.instant(self.name, "counter-update-sent",
+                               value=value)
             yield self.engine.timeout(COUNTER_UPDATE_COST_NS)
             update = Tlp(
                 TlpType.MEMORY_WRITE,

@@ -192,11 +192,19 @@ class LogManager:
         return taken, self._pending[index:]
 
     def _flush(self, batch):
+        tracer = self.engine.tracer
+        token = None
+        if tracer.enabled:
+            token = tracer.begin("wal", "flush", sequence=batch.sequence,
+                                 nbytes=batch.nbytes,
+                                 records=len(batch.records))
         try:
             yield self.log_file.x_pwrite(batch, batch.nbytes)
             yield self.log_file.x_fsync()
         finally:
             self._flush_slots.release()
+            if token is not None:
+                tracer.end(token)
         self.flushes += 1
         self.bytes_flushed += batch.nbytes
         self.batches.append(batch)

@@ -13,10 +13,11 @@ victim, and returns it to the allocator.
 class GarbageCollector:
     """Background space reclamation for a :class:`PageMappingFtl`."""
 
-    def __init__(self, engine, ftl, check_period_ns=100_000.0):
+    def __init__(self, engine, ftl, check_period_ns=100_000.0, name="gc"):
         self.engine = engine
         self.ftl = ftl
         self.check_period_ns = check_period_ns
+        self.name = name
         self.collections = 0
         self.pages_migrated = 0
         self._running = False
@@ -90,11 +91,20 @@ class GarbageCollector:
         """Migrate live pages out of ``victim``, erase it, free it."""
         channel_id, way, block = victim
         channel = self.ftl.channels[channel_id]
+        tracer = self.engine.tracer
+        token = None
+        if tracer.enabled:
+            token = tracer.begin(self.name, "collect", channel=channel_id,
+                                 way=way, block=block)
+        migrated = 0
         for lba in self.ftl.table.live_lbas_in(channel_id, way, block):
             address = self.ftl.table.lookup(lba)
             page = yield channel.read(address.way, address.block, address.page)
             yield self.ftl.write(lba, page.payload, page.nbytes)
             self.pages_migrated += 1
+            migrated += 1
         yield channel.erase(way, block)
         self.ftl.allocator.release(channel_id, way, block)
         self.collections += 1
+        if token is not None:
+            tracer.end(token, pages_migrated=migrated)

@@ -79,10 +79,11 @@ class PageMappingFtl:
     """
 
     def __init__(self, engine, channels, geometry, program_fault_model=None,
-                 reserved_blocks_per_die=1, read_retry_limit=3):
+                 reserved_blocks_per_die=1, read_retry_limit=3, name="ftl"):
         self.engine = engine
         self.channels = channels
         self.geometry = geometry
+        self.name = name
         self.table = MappingTable(geometry)
         self.allocator = BlockAllocator(
             geometry, reserved_blocks_per_die=reserved_blocks_per_die
@@ -127,6 +128,10 @@ class PageMappingFtl:
                 # written there stay readable on real NAND until wear-out;
                 # we conservatively only stop placing new data there).
                 self.program_failures += 1
+                tracer = self.engine.tracer
+                if tracer.enabled:
+                    tracer.instant(self.name, "program-failure",
+                                   channel=channel_id, way=way, block=block)
                 self.allocator.mark_bad(channel_id, way, block)
                 self.allocator.abandon_open_block(channel_id, way)
                 continue
@@ -156,6 +161,10 @@ class PageMappingFtl:
                     raise
                 attempt += 1
                 self.read_retries += 1
+                tracer = self.engine.tracer
+                if tracer.enabled:
+                    tracer.instant(self.name, "read-retry", lba=lba,
+                                   attempt=attempt)
                 continue
             self.reads_served += 1
             return page.payload

@@ -74,6 +74,14 @@ class XssdLogFile:
         queue_bytes = self.device.config.cmb_queue_bytes
         remaining = nbytes
         cursor = 0
+        tracer = self.engine.tracer
+        token = None
+        if tracer.enabled:
+            # The flow id is filled in with the first claimed stream
+            # offset, which is where the host's span links up with the
+            # CMB intake spans for the same bytes.
+            token = tracer.begin(f"host:{self.device.name}", "x_pwrite",
+                                 nbytes=nbytes)
         while remaining > 0:
             # The flow-control budget is device-global: the queue absorbs
             # bytes from every writer sharing the stream.
@@ -82,6 +90,9 @@ class XssdLogFile:
             if budget <= 0:
                 # Out of credits: pause and re-read the counter (one MMIO
                 # round trip), per the protocol.
+                if token is not None:
+                    tracer.instant(f"host:{self.device.name}",
+                                   "credit-stall", outstanding=outstanding)
                 self.last_credit = yield self.device.read_credit()
                 self.credit_checks += 1
                 continue
@@ -94,6 +105,8 @@ class XssdLogFile:
                 # pwrites (the pipelined flusher runs several) must never
                 # allocate overlapping ranges.
                 offset = self.device.claim_stream_range(step)
+                if token is not None and token.flow is None:
+                    tracer.set_flow(token, offset)
                 self.written += step
                 self.high_water = max(self.high_water, offset + step)
                 cursor += step
@@ -101,6 +114,8 @@ class XssdLogFile:
                 remaining -= step
                 yield self.device.fast_write(offset, step, chunk_payload)
         yield self.device.fast_fence()
+        if token is not None:
+            tracer.end(token, credit_checks=self.credit_checks)
         return nbytes
 
     # -- x_fsync ----------------------------------------------------------------------
@@ -122,6 +137,13 @@ class XssdLogFile:
     def _fsync_proc(self, check_transport_status):
         target = self.high_water
         stagnant_reads = 0
+        tracer = self.engine.tracer
+        token = None
+        if tracer.enabled:
+            # Flow id = the stream offset durability must reach, tying the
+            # wait to the last chunk it is waiting for.
+            token = tracer.begin(f"host:{self.device.name}", "x_fsync",
+                                 flow=target, target=target)
         while self.last_credit < target:
             previous = self.last_credit
             self.last_credit = yield self.device.read_credit()
@@ -136,12 +158,16 @@ class XssdLogFile:
                 if stagnant_reads % 16 == 0:
                     status = self.device.transport.status_register
                     if status == "stale":
+                        if token is not None:
+                            tracer.end(token, stalled=True)
                         raise ReplicationStalled(
                             f"credit stuck at {self.last_credit} of "
                             f"{target}; transport reports {status!r}"
                         )
             else:
                 stagnant_reads = 0
+        if token is not None:
+            tracer.end(token, credit=self.last_credit)
         return self.last_credit
 
     # -- x_pread -----------------------------------------------------------------------
@@ -163,6 +189,11 @@ class XssdLogFile:
         self._read_sequence = max(self._read_sequence, destage.head_sequence)
         page_bytes = destage.page_bytes
         needed_pages = max(1, -(-min_bytes // page_bytes))
+        tracer = self.engine.tracer
+        token = None
+        if tracer.enabled:
+            token = tracer.begin(f"host:{self.device.name}", "x_pread",
+                                 min_bytes=min_bytes)
         while destage.durable_tail - self._read_sequence < needed_pages:
             yield self.engine.timeout(10_000.0)  # destage progress poll
         pages = []
@@ -170,6 +201,8 @@ class XssdLogFile:
             page = yield destage.read_page(self._read_sequence)
             pages.append(page)
             self._read_sequence += 1
+        if token is not None:
+            tracer.end(token, pages=len(pages))
         return pages
 
     # -- diagnostics --------------------------------------------------------------------

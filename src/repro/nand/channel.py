@@ -20,12 +20,14 @@ class Channel:
     reads with uncorrectable errors.
     """
 
-    def __init__(self, engine, geometry, timing, channel_id, fault_model=None):
+    def __init__(self, engine, geometry, timing, channel_id, fault_model=None,
+                 name=None):
         self.engine = engine
         self.geometry = geometry
         self.timing = timing
         self.channel_id = channel_id
         self.fault_model = fault_model
+        self.name = name or f"ch{channel_id}"
         self.dies = [
             FlashDie(engine, geometry, timing, channel_id, way)
             for way in range(geometry.ways_per_channel)
@@ -66,6 +68,16 @@ class Channel:
 
     def _program_proc(self, way, block, page, payload, nbytes):
         die = self.dies[way]
+        tracer = self.engine.tracer
+        token = None
+        if tracer.enabled:
+            # The flow id follows the destaged page's stream offset when
+            # the payload carries one (DestagePage does); conventional
+            # payloads trace without a flow arrow.
+            token = tracer.begin(
+                self.name, "program", way=way, block=block, page=page,
+                flow=getattr(payload, "stream_offset", None), nbytes=nbytes,
+            )
         yield die.busy.request()
         try:
             # Data phase first (bus), then the cell program (die-internal).
@@ -74,10 +86,17 @@ class Channel:
             yield self.engine.timeout(self.timing.t_program)
         finally:
             die.busy.release()
+            if token is not None:
+                tracer.end(token)
         return (block, page)
 
     def _read_proc(self, way, block, page):
         die = self.dies[way]
+        tracer = self.engine.tracer
+        token = None
+        if tracer.enabled:
+            token = tracer.begin(self.name, "read", way=way, block=block,
+                                 page=page)
         yield die.busy.request()
         try:
             # Cell read first, then the data phase moves bytes out.
@@ -88,16 +107,24 @@ class Channel:
             yield self.bus.transfer(result.nbytes or self.geometry.page_bytes)
         finally:
             die.busy.release()
+            if token is not None:
+                tracer.end(token)
         return result
 
     def _erase_proc(self, way, block):
         die = self.dies[way]
+        tracer = self.engine.tracer
+        token = None
+        if tracer.enabled:
+            token = tracer.begin(self.name, "erase", way=way, block=block)
         yield die.busy.request()
         try:
             die.erase_block(block)
             yield self.engine.timeout(self.timing.t_erase)
         finally:
             die.busy.release()
+            if token is not None:
+                tracer.end(token)
         return None
 
     # -- introspection -------------------------------------------------------

@@ -1,0 +1,66 @@
+"""Observability: full-stack tracing, histograms, gauges, and exporters.
+
+The paper explains every result by *where time goes* as a log record
+moves host → CMB → destage → NAND and across NTB replicas; this package
+makes that timeline visible in our reproduction.  One
+:class:`~repro.obs.trace.Tracer` rides each
+:class:`~repro.sim.Engine` (``engine.tracer``, a shared no-op unless a
+capture is active); instrumented hook points across the host API, CMB,
+destage, transport, scheduler, NAND channels, FTL, NTB and WAL layers
+emit spans, instants, and counter samples through it.  Exporters turn a
+session into a Perfetto-loadable Chrome trace-event file and a
+per-stage latency summary.
+
+Entry points::
+
+    from repro.obs import capture, write_chrome_trace, stage_summary
+
+    with capture() as session:
+        ...build engines, run the scenario...
+    write_chrome_trace("trace.json", session.tracers)
+
+or, from the shell: ``python -m repro.bench trace`` and the ``--trace
+PATH`` flag on every figure subcommand.  See OBSERVABILITY.md for the
+track/span taxonomy and overhead numbers.
+"""
+
+from repro.obs.exporters import (
+    chrome_trace_events,
+    format_summary,
+    stage_summary,
+    write_chrome_trace,
+    write_summary_csv,
+    write_summary_json,
+)
+from repro.obs.gauges import GaugeSampler
+from repro.obs.histogram import LogHistogram
+from repro.obs.trace import (
+    CounterSample,
+    Instant,
+    Span,
+    Tracer,
+    TraceSession,
+    capture,
+    current_session,
+)
+from repro.obs.validate import validate_trace_events, validate_trace_file
+
+__all__ = [
+    "Tracer",
+    "TraceSession",
+    "Span",
+    "Instant",
+    "CounterSample",
+    "capture",
+    "current_session",
+    "GaugeSampler",
+    "LogHistogram",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "stage_summary",
+    "format_summary",
+    "write_summary_json",
+    "write_summary_csv",
+    "validate_trace_events",
+    "validate_trace_file",
+]

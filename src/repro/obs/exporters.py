@@ -1,0 +1,195 @@
+"""Exporters: Chrome trace-event JSON (Perfetto-loadable) and summaries.
+
+Two output shapes:
+
+* :func:`write_chrome_trace` — the Trace Event Format that Perfetto and
+  ``chrome://tracing`` load directly: complete-duration events (``"X"``)
+  for spans, instant events (``"i"``), counter tracks (``"C"``), and
+  legacy flow events (``"s"``/``"t"``/``"f"``) drawing the causality
+  arrows that follow one log chunk host → CMB → destage → NAND → replica.
+  Timestamps are microseconds (the format's unit) converted from the
+  engine's nanosecond clock.
+
+* :func:`stage_summary` / :func:`write_summary_json` /
+  :func:`write_summary_csv` — the per-stage latency table built from the
+  tracer's histograms: count, total, mean, min/max and approximate
+  p50/p90/p99 per (track, stage).
+
+Export is deterministic: events keep their emission order, ids are dense
+integers assigned in first-seen order, and JSON is dumped with sorted
+keys — the same seed yields a byte-identical file.
+"""
+
+import csv
+import json
+
+from repro.obs.trace import CounterSample, Instant, Span
+
+
+def chrome_trace_events(tracers):
+    """Flatten ``tracers`` into a list of trace-event dicts.
+
+    Each tracer becomes one process (pid = index + 1); each distinct
+    track within it becomes one named thread, in first-seen order.  Spans
+    still open at export time are emitted with their duration clipped at
+    the engine's current clock and ``args.incomplete = true`` (a crash
+    dump wants to see what was in flight, not lose it).
+    """
+    events = []
+    flow_seen = {}  # flow key -> occurrence count (to pick s/t phases)
+    flow_last = {}  # flow key -> index of that flow's last emitted event
+    for pid, tracer in enumerate(tracers, start=1):
+        label = tracer.label or f"engine-{pid - 1}"
+        events.append({
+            "ph": "M", "pid": pid, "tid": 0, "ts": 0,
+            "name": "process_name", "args": {"name": label},
+        })
+        tids = {}
+        close_ns = tracer.engine.now
+        for record in tracer.events:
+            tid = tids.get(record.track)
+            if tid is None:
+                tid = tids[record.track] = len(tids) + 1
+                events.append({
+                    "ph": "M", "pid": pid, "tid": tid, "ts": 0,
+                    "name": "thread_name",
+                    "args": {"name": record.track},
+                })
+            if isinstance(record, Span):
+                start_us = record.start_ns / 1e3
+                end_ns = record.end_ns
+                args = dict(record.args) if record.args else {}
+                if end_ns is None:
+                    end_ns = max(close_ns, record.start_ns)
+                    args["incomplete"] = True
+                event = {
+                    "ph": "X", "pid": pid, "tid": tid,
+                    "ts": start_us, "dur": (end_ns - record.start_ns) / 1e3,
+                    "name": record.name, "cat": record.track,
+                }
+                if record.flow is not None:
+                    args["flow"] = record.flow
+                if args:
+                    event["args"] = args
+                events.append(event)
+                if record.flow is not None:
+                    key = f"{pid}:{record.flow}"
+                    count = flow_seen.get(key, 0)
+                    flow_seen[key] = count + 1
+                    events.append({
+                        "ph": "s" if count == 0 else "t",
+                        "pid": pid, "tid": tid, "ts": start_us,
+                        "id": key, "name": "chunk", "cat": "flow",
+                    })
+                    flow_last[key] = len(events) - 1
+            elif isinstance(record, Instant):
+                event = {
+                    "ph": "i", "s": "t", "pid": pid, "tid": tid,
+                    "ts": record.ts_ns / 1e3,
+                    "name": record.name, "cat": record.track,
+                }
+                args = dict(record.args) if record.args else {}
+                if record.flow is not None:
+                    args["flow"] = record.flow
+                if args:
+                    event["args"] = args
+                events.append(event)
+            elif isinstance(record, CounterSample):
+                events.append({
+                    "ph": "C", "pid": pid, "tid": tid,
+                    "ts": record.ts_ns / 1e3,
+                    "name": f"{record.track}:{record.name}",
+                    "args": {"value": record.value},
+                })
+    # Close each flow: its final step becomes a flow-end so the arrows
+    # terminate instead of dangling (binding point "e" = enclosing slice).
+    for key, index in flow_last.items():
+        if flow_seen[key] > 1:
+            events[index] = dict(events[index], ph="f", bp="e")
+    return events
+
+
+def write_chrome_trace(path, tracers, label="repro-trace"):
+    """Write ``tracers`` as a Chrome trace-event JSON file; returns count."""
+    events = chrome_trace_events(tracers)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"producer": "repro.obs", "label": label},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True,
+                  separators=(",", ":"))
+        handle.write("\n")
+    return len(events)
+
+
+# -- stage-latency summaries ---------------------------------------------------
+
+
+def stage_summary(tracers, extra=None):
+    """Per-(track, stage) latency table plus session totals.
+
+    ``extra`` (a dict) is merged under its own keys — the trace
+    subcommand puts the final ``device_snapshot()`` there so one file
+    carries both the timeline totals and the end-state counters they
+    must agree with.
+    """
+    stages = []
+    total_events = 0
+    open_spans = 0
+    for tracer in tracers:
+        total_events += len(tracer.events)
+        open_spans += tracer.open_spans
+        for (track, name), histogram in sorted(tracer.histograms.items()):
+            stages.append({
+                "engine": tracer.label,
+                "track": track,
+                "stage": name,
+                **histogram.to_dict(),
+            })
+    summary = {
+        "stages": stages,
+        "events_recorded": total_events,
+        "spans_open": open_spans,
+        "engines": [tracer.label for tracer in tracers],
+    }
+    if extra:
+        summary.update(extra)
+    return summary
+
+
+def write_summary_json(path, summary):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+SUMMARY_CSV_COLUMNS = (
+    "engine", "track", "stage", "count", "total_ns", "mean_ns",
+    "min_ns", "max_ns", "p50_ns", "p90_ns", "p99_ns",
+)
+
+
+def write_summary_csv(path, summary):
+    """The ``stages`` table as CSV (one row per track/stage pair)."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SUMMARY_CSV_COLUMNS)
+        for stage in summary["stages"]:
+            writer.writerow([stage[column] for column in SUMMARY_CSV_COLUMNS])
+
+
+def format_summary(summary, limit=None):
+    """Render the summary's stage table as aligned text (CLI output)."""
+    rows = summary["stages"][:limit] if limit else summary["stages"]
+    lines = [f"{'track':<28} {'stage':<18} {'count':>8} "
+             f"{'mean [us]':>10} {'p99 [us]':>10} {'total [ms]':>11}"]
+    for stage in rows:
+        lines.append(
+            f"{stage['track']:<28} {stage['stage']:<18} "
+            f"{stage['count']:>8d} {stage['mean_ns'] / 1e3:>10.2f} "
+            f"{stage['p99_ns'] / 1e3:>10.2f} "
+            f"{stage['total_ns'] / 1e6:>11.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Periodic gauge sampling: device state as counter tracks.
+
+The tracer's spans say where time went; these gauges say what the queues
+looked like while it did.  :class:`GaugeSampler` is a simulation process
+that takes a :func:`~repro.core.metrics.device_snapshot` every
+``period_ns`` and re-emits the scalar levels as counter samples, so
+Perfetto draws them as stepped line tracks under the span rows.
+
+The sampler must be stopped before the run is allowed to drain (it keeps
+rescheduling itself, so an unbounded ``engine.run()`` would never
+return); the trace harness runs the clock in bounded increments and
+stops the sampler once the workload completes.
+"""
+
+from repro.core.metrics import device_snapshot
+
+DEFAULT_PERIOD_NS = 50_000.0
+
+# snapshot path (tuple of keys) -> gauge name on the counter track.
+GAUGE_PATHS = (
+    (("fast_side", "credit"), "credit"),
+    (("fast_side", "queue_free_bytes"), "queue_free_bytes"),
+    (("fast_side", "in_flight_bytes"), "in_flight_bytes"),
+    (("fast_side", "ring", "used_bytes"), "ring_used_bytes"),
+    (("destage", "outstanding_pages"), "destage_outstanding"),
+    (("destage", "pages_written"), "destage_pages_written"),
+    (("transport", "visible_credit"), "visible_credit"),
+    (("faults", "sends_retried"), "sends_retried"),
+)
+
+
+class GaugeSampler:
+    """Samples one device's snapshot into a tracer's counter tracks."""
+
+    def __init__(self, tracer, device, period_ns=DEFAULT_PERIOD_NS,
+                 track=None):
+        if period_ns <= 0:
+            raise ValueError("sampling period must be positive")
+        self.tracer = tracer
+        self.device = device
+        self.period_ns = period_ns
+        self.track = track or f"{device.name}.gauges"
+        self.samples_taken = 0
+        self._running = False
+
+    def start(self):
+        if self._running:
+            raise RuntimeError("gauge sampler already running")
+        self._running = True
+        return self.device.engine.process(
+            self._loop(), name=f"{self.track}-sampler"
+        )
+
+    def stop(self):
+        self._running = False
+
+    def sample(self):
+        """Take one snapshot now and emit its gauges (never advances time)."""
+        snapshot = device_snapshot(self.device)
+        tracer = self.tracer
+        for path, name in GAUGE_PATHS:
+            value = snapshot
+            for key in path:
+                value = value[key]
+            tracer.counter(self.track, name, value)
+        self.samples_taken += 1
+        return snapshot
+
+    def _loop(self):
+        while self._running:
+            yield self.device.engine.timeout(self.period_ns)
+            if not self._running:
+                return
+            self.sample()

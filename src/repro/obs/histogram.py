@@ -1,0 +1,89 @@
+"""Log-bucketed latency histograms for per-stage summaries.
+
+The tracer records every finished span's duration into one of these, so a
+run of millions of events keeps O(#buckets) state per stage instead of a
+sample list.  Buckets are powers of two (in nanoseconds): bucket *i*
+covers durations in ``[2**(i-1), 2**i)`` ns, with bucket 0 holding
+sub-nanosecond (including zero) durations.  Percentiles are therefore
+approximate — reported at the upper bound of the covering bucket, i.e.
+within a factor of two — which is exactly the resolution a "where does
+the time go" breakdown needs (SimpleSSD/Amber report per-resource stats
+at similar granularity).
+"""
+
+import math
+
+
+class LogHistogram:
+    """A power-of-two-bucketed histogram of non-negative durations."""
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self):
+        self.counts = {}  # bucket index -> observation count
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def record(self, value):
+        """Add one observation (nanoseconds, >= 0)."""
+        if value < 0:
+            raise ValueError(f"histogram values must be >= 0, got {value}")
+        index = self.bucket_index(value)
+        self.counts[index] = self.counts.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @staticmethod
+    def bucket_index(value):
+        """Bucket holding ``value``: 0 for < 1 ns, else ceil(log2)+1 style."""
+        if value < 1.0:
+            return 0
+        return int(math.ceil(value)).bit_length()
+
+    @staticmethod
+    def bucket_bound(index):
+        """Upper bound (exclusive) of bucket ``index`` in nanoseconds."""
+        if index == 0:
+            return 1.0
+        return float(1 << index)
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, fraction):
+        """Approximate quantile: upper bound of the covering bucket."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction {fraction} outside [0, 1]")
+        if not self.count:
+            return 0.0
+        threshold = fraction * self.count
+        seen = 0
+        for index in sorted(self.counts):
+            seen += self.counts[index]
+            if seen >= threshold:
+                return min(self.bucket_bound(index), self.max)
+        return self.max
+
+    def to_dict(self):
+        """A JSON-able rendering with stable key order."""
+        return {
+            "count": self.count,
+            "total_ns": self.total,
+            "mean_ns": self.mean,
+            "min_ns": self.min if self.count else 0.0,
+            "max_ns": self.max,
+            "p50_ns": self.quantile(0.50),
+            "p90_ns": self.quantile(0.90),
+            "p99_ns": self.quantile(0.99),
+            "buckets": {
+                str(index): self.counts[index]
+                for index in sorted(self.counts)
+            },
+        }

@@ -1,0 +1,110 @@
+"""Trace-event schema validation (no external dependencies).
+
+Checks a generated ``trace.json`` against the subset of the Chrome Trace
+Event Format this repo emits, so CI can fail fast on a malformed trace
+instead of shipping an artifact Perfetto rejects.  Usable as a library
+(:func:`validate_trace_events`) and as a CLI::
+
+    python -m repro.obs.validate trace.json
+"""
+
+import json
+import numbers
+import sys
+
+# Phases we emit: complete, instant, counter, metadata, flow start/step/end.
+KNOWN_PHASES = {"X", "i", "C", "M", "s", "t", "f"}
+
+
+def _err(errors, index, message):
+    errors.append(f"traceEvents[{index}]: {message}")
+
+
+def validate_trace_events(payload, max_errors=20):
+    """Validate a parsed trace file; returns a list of error strings.
+
+    An empty list means the payload is schema-conformant.  Validation
+    stops collecting after ``max_errors`` problems (a broken exporter
+    would otherwise report every event).
+    """
+    errors = []
+    if not isinstance(payload, dict):
+        return ["top level: expected an object with 'traceEvents'"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top level: 'traceEvents' must be a list"]
+    if not events:
+        errors.append("top level: 'traceEvents' is empty")
+    for index, event in enumerate(events):
+        if len(errors) >= max_errors:
+            errors.append(f"... stopping after {max_errors} errors")
+            break
+        if not isinstance(event, dict):
+            _err(errors, index, "event is not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in KNOWN_PHASES:
+            _err(errors, index, f"unknown phase {phase!r}")
+            continue
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                _err(errors, index, f"{field!r} must be an integer")
+        if not isinstance(event.get("ts"), numbers.Real):
+            _err(errors, index, "'ts' must be a number")
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            _err(errors, index, "'name' must be a non-empty string")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, numbers.Real) or duration < 0:
+                _err(errors, index, "'X' event needs a non-negative 'dur'")
+        elif phase == "i":
+            if event.get("s") not in ("t", "p", "g"):
+                _err(errors, index, "'i' event needs scope 's' in t/p/g")
+        elif phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                _err(errors, index, "'C' event needs numeric 'args'")
+            elif not all(isinstance(v, numbers.Real) for v in args.values()):
+                _err(errors, index, "'C' event args must all be numbers")
+        elif phase == "M":
+            if event.get("name") not in ("process_name", "thread_name"):
+                _err(errors, index, "metadata name must be process/thread_name")
+            args = event.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                _err(errors, index, "metadata event needs args.name")
+        elif phase in ("s", "t", "f"):
+            if not isinstance(event.get("id"), (str, int)):
+                _err(errors, index, "flow event needs an 'id'")
+    return errors
+
+
+def validate_trace_file(path, max_errors=20):
+    """Load ``path`` and validate it; returns the error list."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"{path}: unreadable or not JSON: {error}"]
+    return validate_trace_events(payload, max_errors=max_errors)
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.validate TRACE_JSON...",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        errors = validate_trace_file(path)
+        if errors:
+            status = 1
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

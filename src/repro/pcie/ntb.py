@@ -142,19 +142,40 @@ class NtbBridge:
             raise TypeError(f"expected a Tlp, got {type(tlp).__name__}")
         peer = self.peer_of(source_port)
         pipe = self._pipes[id(source_port)]
+        tracer = self.engine.tracer
+        track = f"ntb:{source_port.name}->{peer.name}"
+        token = None
+        if tracer.enabled:
+            # Mirror TLPs carry their stream offset as the wire address, so
+            # the hop span joins the primary's ship span to the peer's
+            # intake span in the flow view.
+            kind = tlp.metadata.get("kind")
+            token = tracer.begin(
+                track, kind or "tlp",
+                flow=tlp.address if kind == "mirror" else None,
+                nbytes=tlp.wire_size,
+            )
         if self._corrupt_budget > 0:
             self._corrupt_budget -= 1
             self.tlps_corrupted += 1
             tlp.metadata["corrupted"] = True
+            if tracer.enabled:
+                tracer.instant(track, "tlp-corrupted", address=tlp.address)
         done = pipe.transfer(tlp.wire_size)
         delivery = self.engine.event()
 
         def _arrived(_event):
             if self.link_up:
+                if token is not None:
+                    tracer.end(token)
                 peer._deliver(tlp)
                 delivery.succeed(tlp)
             else:
                 self.tlps_dropped += 1
+                if token is not None:
+                    tracer.instant(track, "tlp-dropped",
+                                   address=tlp.address)
+                    tracer.end(token, dropped=True)
                 delivery.succeed(None)
 
         def _maybe_delayed(_event):

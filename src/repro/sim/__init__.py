@@ -16,7 +16,16 @@ The kernel is fully deterministic for a fixed seed: ties in the event heap
 break on a monotonically increasing sequence number, never on object ids.
 """
 
-from repro.sim.engine import Engine, Event, Process, SimulationError, Timeout
+from repro.sim.engine import (
+    NULL_TRACER,
+    Engine,
+    Event,
+    Process,
+    SimulationError,
+    Timeout,
+    set_tracer_factory,
+    tracer_factory,
+)
 from repro.sim.resources import (
     BandwidthPipe,
     Container,
@@ -47,6 +56,9 @@ from repro.sim.units import (
 
 __all__ = [
     "Engine",
+    "NULL_TRACER",
+    "set_tracer_factory",
+    "tracer_factory",
     "Event",
     "Process",
     "Timeout",

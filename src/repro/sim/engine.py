@@ -42,6 +42,55 @@ class SimulationError(Exception):
     """Raised for misuse of the simulation kernel (not for modeled faults)."""
 
 
+class NullTracer:
+    """The disabled-observability default: every hook is a no-op.
+
+    Model code calls ``engine.tracer.begin(...)`` & friends unconditionally
+    (or, on per-chunk hot paths, behind an ``if tracer.enabled`` guard);
+    with this object installed the cost is one attribute load and — at
+    most — one empty method call, so simulations without tracing pay
+    essentially nothing.  The real recorder lives in :mod:`repro.obs`;
+    keeping the null object here means the kernel never imports it.
+    """
+
+    enabled = False
+    __slots__ = ()
+
+    def begin(self, track, name, flow=None, **args):
+        return None
+
+    def end(self, token, **args):
+        pass
+
+    def set_flow(self, token, flow):
+        pass
+
+    def instant(self, track, name, flow=None, **args):
+        pass
+
+    def counter(self, track, name, value):
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+# Process-wide tracer factory: when installed (see ``repro.obs.capture``),
+# every Engine constructed afterwards gets ``factory(engine)`` as its
+# tracer — which is how ``--trace`` reaches engines that benchmarks build
+# internally.  ``None`` means every new engine gets the shared NULL_TRACER.
+_tracer_factory = None
+
+
+def set_tracer_factory(factory):
+    """Install (or, with ``None``, remove) the process-wide tracer factory."""
+    global _tracer_factory
+    _tracer_factory = factory
+
+
+def tracer_factory():
+    return _tracer_factory
+
+
 class Event:
     """A one-shot occurrence that processes can wait on.
 
@@ -289,6 +338,11 @@ class Engine:
         # Tier 2: strictly-future timeouts, ordered by (time, sequence).
         self._heap = []
         self._sequence = count()
+        # Observability: the shared no-op tracer unless a capture session
+        # is active (one assignment at construction; the run loop itself
+        # never consults it, so tracing cannot tax the event hot path).
+        factory = _tracer_factory
+        self.tracer = NULL_TRACER if factory is None else factory(self)
 
     @property
     def now(self):

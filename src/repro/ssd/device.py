@@ -62,19 +62,22 @@ class ConventionalSsd:
         self.dma = DmaEngine(engine, self.link)
         self.channels = [
             Channel(engine, cfg.geometry, cfg.timing, channel_id=i,
-                    fault_model=cfg.read_fault_model)
+                    fault_model=cfg.read_fault_model,
+                    name=f"{name}.ch{i}")
             for i in range(cfg.geometry.channels)
         ]
         self.ftl = PageMappingFtl(
             engine, self.channels, cfg.geometry,
             program_fault_model=cfg.program_fault_model,
+            name=f"{name}.ftl",
         )
         self.data_buffer = DataBuffer(
             engine, cfg.data_buffer_bytes,
             bandwidth=cfg.data_buffer_bandwidth,
         )
         self.scheduler = WriteScheduler(engine, self.ftl,
-                                        mode=cfg.scheduling_mode)
+                                        mode=cfg.scheduling_mode,
+                                        name=f"{name}.scheduler")
         self.firmware = Firmware(
             engine, self.ftl, self.data_buffer, self.scheduler,
             block_bytes=cfg.geometry.page_bytes,
@@ -85,7 +88,7 @@ class ConventionalSsd:
             engine, self.link, self.dma, self.submission_queue,
             self.completion_queue, self.firmware,
         )
-        self.gc = GarbageCollector(engine, self.ftl)
+        self.gc = GarbageCollector(engine, self.ftl, name=f"{name}.gc")
         self._started = False
 
     @property

@@ -57,10 +57,11 @@ class WriteScheduler:
     """
 
     def __init__(self, engine, ftl, mode=SchedulingMode.NEUTRAL,
-                 parallelism=None):
+                 parallelism=None, name="scheduler"):
         self.engine = engine
         self.ftl = ftl
         self.mode = mode
+        self.name = name
         if parallelism is None:
             geometry = ftl.geometry
             parallelism = geometry.channels * geometry.ways_per_channel
@@ -80,6 +81,17 @@ class WriteScheduler:
         """Queue ``request``; returns an event firing at program completion."""
         if request.completion is None:
             request.completion = self.engine.event()
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            # Span covers queue wait + flash program; destage payloads
+            # carry a stream offset that becomes the causality flow id.
+            request.trace_token = tracer.begin(
+                self.name, f"{request.source.value}-write",
+                flow=getattr(request.payload, "stream_offset", None),
+                lba=request.lba, nbytes=request.nbytes,
+            )
+            tracer.counter(self.name, f"pending:{request.source.value}",
+                           len(self._pools[request.source]) + 1)
         self._pools[request.source].append(request)
         self._signal()
         return request.completion
@@ -149,13 +161,19 @@ class WriteScheduler:
                 yield event
                 continue
             request = self._pools[source].popleft()
+            tracer = self.engine.tracer
+            token = getattr(request, "trace_token", None)
             try:
                 address = yield self.ftl.write(
                     request.lba, request.payload, request.nbytes
                 )
             except Exception as error:  # modeled fault -> propagate to waiter
+                if tracer.enabled and token is not None:
+                    tracer.end(token, failed=type(error).__name__)
                 request.completion.fail(error)
                 continue
             self.dispatched[source] += 1
             self.bytes_written[source] += request.nbytes
+            if tracer.enabled and token is not None:
+                tracer.end(token)
             request.completion.succeed(address)

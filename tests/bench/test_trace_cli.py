@@ -1,0 +1,88 @@
+"""Tests for the ``trace`` subcommand and the ``--trace`` capture flag."""
+
+import json
+
+import pytest
+
+import repro.bench.__main__ as cli
+from repro.obs.validate import validate_trace_file
+
+
+class TestTraceArgParsing:
+    def test_defaults(self):
+        args = cli.build_parser().parse_args(["trace"])
+        assert args.scenario == "chain"
+        assert args.out == "trace.json"
+        assert args.summary is None
+        assert args.seed == 7
+
+    def test_unknown_scenario_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["trace", "--scenario", "fig99"])
+
+    def test_trace_flag_on_every_figure_subcommand(self):
+        parser = cli.build_parser()
+        for figure in ("fig09", "fig10", "fig11", "fig12", "fig13",
+                       "all", "chaos", "kernel"):
+            args = parser.parse_args([figure, "--trace", "t.json"])
+            assert args.trace == "t.json"
+
+    def test_trace_forces_serial_execution(self, monkeypatch, tmp_path,
+                                           capsys):
+        seen = {}
+        monkeypatch.setitem(cli.FIGURES, "fig10",
+                            lambda args: seen.update(jobs=args.jobs) or [])
+        trace = tmp_path / "t.json"
+        cli.main(["fig10", "--jobs", "4", "--trace", str(trace)])
+        assert seen["jobs"] is None
+        assert "forces serial" in capsys.readouterr().err
+
+
+class TestTraceSubcommand:
+    def test_chain_trace_end_to_end(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        summary_json = tmp_path / "summary.json"
+        summary_csv = tmp_path / "summary.csv"
+        assert cli.main([
+            "trace", "--scenario", "chain", "--txns", "6",
+            "--duration-ms", "4",
+            "--out", str(trace),
+            "--summary", str(summary_json),
+            "--csv", str(summary_csv),
+        ]) == 0
+        assert validate_trace_file(trace) == []
+        summary = json.loads(summary_json.read_text())
+        assert summary["scenario"] == "chain"
+        assert summary["events_recorded"] > 0
+        tracks = {stage["track"] for stage in summary["stages"]}
+        assert any(track.startswith("host:") for track in tracks)
+        assert any(track.endswith(".cmb") for track in tracks)
+        assert any(track.endswith(".destage") for track in tracks)
+        assert summary_csv.read_text().startswith("engine,track,stage")
+        out = capsys.readouterr().out
+        assert "events ->" in out
+
+    def test_figure_run_with_trace_flag(self, tmp_path):
+        trace = tmp_path / "fig12.json"
+        assert cli.main([
+            "fig12", "--duration-ms", "0.4", "--trace", str(trace),
+        ]) == 0
+        assert validate_trace_file(trace) == []
+        payload = json.loads(trace.read_text())
+        assert payload["otherData"]["label"] == "bench:fig12"
+
+    def test_trace_written_even_when_body_fails(self, monkeypatch, tmp_path):
+        def boom(args):
+            from repro.sim import Engine
+
+            engine = Engine()
+            engine.tracer.instant("t", "before-failure")
+            raise SystemExit(1)
+
+        monkeypatch.setitem(cli.FIGURES, "fig10", boom)
+        trace = tmp_path / "failing.json"
+        with pytest.raises(SystemExit):
+            cli.main(["fig10", "--trace", str(trace)])
+        payload = json.loads(trace.read_text())
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "before-failure" in names

@@ -1,0 +1,71 @@
+"""``device_snapshot`` under chaos: complete, consistent, and side-effect
+free (satellite of the tracing subsystem — snapshots feed its gauges and
+the chaos diagnostics dump)."""
+
+from repro.core.metrics import device_snapshot, format_snapshot
+from repro.faults.plan import FaultPlan
+from repro.faults.scenario import run_chaos
+from tests.conftest import make_xssd_device
+from tests.integration.test_chaos_properties import ACCEPTANCE_PLAN
+
+TOP_LEVEL_KEYS = {"time_ns", "fast_side", "destage", "conventional_side",
+                  "transport", "faults", "link"}
+
+FAULT_KEYS = {"torn_writes", "chunks_discarded", "corrupt_dropped",
+              "sends_retried", "chunks_abandoned"}
+
+
+def run_acceptance_chaos():
+    return run_chaos(seed=7, secondaries=2,
+                     plan=FaultPlan.from_dicts(ACCEPTANCE_PLAN),
+                     collect_snapshots=True)
+
+
+def test_chaos_snapshots_have_every_section_for_every_server():
+    result = run_acceptance_chaos()
+    assert set(result["snapshots"]) == {"primary", "secondary-1",
+                                        "secondary-2"}
+    for snapshot in result["snapshots"].values():
+        assert TOP_LEVEL_KEYS <= set(snapshot)
+        assert FAULT_KEYS <= set(snapshot["faults"])
+        # The accessor-backed gauges are present and sane.
+        assert snapshot["fast_side"]["queue_free_bytes"] >= 0
+        assert snapshot["destage"]["outstanding_pages"] >= 0
+        assert snapshot["faults"]["sends_retried"] >= 0
+        assert snapshot["faults"]["chunks_abandoned"] >= 0
+
+
+def test_fault_counters_localise_the_plan():
+    result = run_acceptance_chaos()
+    snapshots = result["snapshots"]
+    # The plan tears exactly one CMB write on secondary-1 ...
+    assert snapshots["secondary-1"]["faults"]["torn_writes"] == 1
+    # ... and fails exactly two NAND programs there, nowhere else.
+    ftl = snapshots["secondary-1"]["conventional_side"]["ftl"]
+    assert ftl["program_failures"] == 2
+    for name in ("primary", "secondary-2"):
+        assert snapshots[name]["faults"]["torn_writes"] == 0
+        assert (snapshots[name]["conventional_side"]["ftl"]
+                ["program_failures"] == 0)
+
+
+def test_snapshot_never_advances_simulation_time():
+    engine, device = make_xssd_device()
+    engine.run(until=50_000.0)
+    before = engine.now
+    heap_before = len(engine._queue) if hasattr(engine, "_queue") else None
+    first = device_snapshot(device)
+    assert engine.now == before
+    assert first["time_ns"] == before
+    # Taking it twice at the same instant is a pure read: identical dicts.
+    assert device_snapshot(device) == first
+    if heap_before is not None:
+        assert len(engine._queue) == heap_before
+
+
+def test_format_snapshot_renders_every_leaf():
+    _engine, device = make_xssd_device()
+    text = format_snapshot(device_snapshot(device))
+    for key in ("fast_side", "queue_free_bytes", "outstanding_pages",
+                "sends_retried", "torn_writes"):
+        assert key in text

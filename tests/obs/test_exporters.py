@@ -1,0 +1,168 @@
+"""Chrome-trace / summary exporter and schema-validator tests."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, stage_summary, write_chrome_trace
+from repro.obs.exporters import (
+    SUMMARY_CSV_COLUMNS,
+    chrome_trace_events,
+    format_summary,
+    write_summary_csv,
+    write_summary_json,
+)
+from repro.obs.validate import validate_trace_events, validate_trace_file
+from repro.sim import Engine
+
+
+def build_traced_run():
+    """One engine whose tracer holds spans, a flow, instants, counters."""
+    engine = Engine()
+    tracer = Tracer(engine, label="dev")
+    engine.tracer = tracer
+
+    def proc():
+        host = tracer.begin("host", "x_pwrite", flow=0, nbytes=64)
+        yield engine.timeout(100.0)
+        cmb = tracer.begin("cmb", "intake", flow=0, nbytes=64)
+        tracer.counter("cmb", "credit", 64)
+        yield engine.timeout(200.0)
+        tracer.end(cmb, advanced=64)
+        tracer.end(host)
+        destage = tracer.begin("destage", "page-program", flow=0)
+        tracer.instant("ftl", "program-failure", channel=0)
+        yield engine.timeout(300.0)
+        tracer.end(destage)
+        tracer.begin("destage", "page-program", flow=512)  # left open
+
+    engine.process(proc())
+    engine.run()
+    return engine, tracer
+
+
+class TestChromeTraceEvents:
+    def test_metadata_names_processes_and_threads(self):
+        _engine, tracer = build_traced_run()
+        events = chrome_trace_events([tracer])
+        meta = [e for e in events if e["ph"] == "M"]
+        process_names = [e for e in meta if e["name"] == "process_name"]
+        assert [e["args"]["name"] for e in process_names] == ["dev"]
+        thread_names = {e["args"]["name"]
+                        for e in meta if e["name"] == "thread_name"}
+        assert {"host", "cmb", "destage", "ftl"} <= thread_names
+
+    def test_span_becomes_complete_event_in_microseconds(self):
+        _engine, tracer = build_traced_run()
+        events = chrome_trace_events([tracer])
+        (intake,) = [e for e in events
+                     if e["ph"] == "X" and e["name"] == "intake"]
+        assert intake["ts"] == pytest.approx(0.1)   # 100 ns -> 0.1 us
+        assert intake["dur"] == pytest.approx(0.2)  # 200 ns
+        assert intake["args"]["nbytes"] == 64
+
+    def test_open_span_is_clipped_and_flagged_incomplete(self):
+        engine, tracer = build_traced_run()
+        events = chrome_trace_events([tracer])
+        open_events = [e for e in events
+                       if e["ph"] == "X" and e.get("args", {}).get("incomplete")]
+        assert len(open_events) == 1
+        event = open_events[0]
+        assert event["ts"] + event["dur"] == pytest.approx(engine.now / 1e3)
+
+    def test_flow_chain_is_start_steps_then_end(self):
+        _engine, tracer = build_traced_run()
+        events = chrome_trace_events([tracer])
+        flow0 = [e for e in events
+                 if e["ph"] in ("s", "t", "f") and e["id"].endswith(":0")]
+        assert [e["ph"] for e in flow0] == ["s", "t", "f"]
+        assert flow0[-1]["bp"] == "e"
+        # a single-span flow stays a lone start (nothing to bind to yet)
+        lone = [e for e in events
+                if e["ph"] in ("s", "t", "f") and e["id"].endswith(":512")]
+        assert [e["ph"] for e in lone] == ["s"]
+
+    def test_counter_events_namespaced_by_track(self):
+        _engine, tracer = build_traced_run()
+        events = chrome_trace_events([tracer])
+        (counter,) = [e for e in events if e["ph"] == "C"]
+        assert counter["name"] == "cmb:credit"
+        assert counter["args"] == {"value": 64}
+
+    def test_instant_events_carry_thread_scope(self):
+        _engine, tracer = build_traced_run()
+        events = chrome_trace_events([tracer])
+        (instant,) = [e for e in events if e["ph"] == "i"]
+        assert instant["s"] == "t"
+        assert instant["name"] == "program-failure"
+
+
+class TestTraceFile:
+    def test_written_file_is_valid_and_deterministic(self, tmp_path):
+        _engine, tracer = build_traced_run()
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        write_chrome_trace(first, [tracer], label="unit")
+        write_chrome_trace(second, [tracer], label="unit")
+        assert first.read_bytes() == second.read_bytes()
+        assert validate_trace_file(first) == []
+        payload = json.loads(first.read_text())
+        assert payload["displayTimeUnit"] == "ns"
+        assert payload["otherData"]["label"] == "unit"
+
+
+class TestStageSummary:
+    def test_totals_match_recorded_spans(self):
+        _engine, tracer = build_traced_run()
+        summary = stage_summary([tracer], extra={"scenario": "unit"})
+        assert summary["scenario"] == "unit"
+        assert summary["spans_open"] == 1
+        assert summary["events_recorded"] == len(tracer.events)
+        by_stage = {(s["track"], s["stage"]): s for s in summary["stages"]}
+        assert by_stage[("cmb", "intake")]["count"] == 1
+        assert by_stage[("cmb", "intake")]["total_ns"] == 200.0
+        # the open span has not finished, so it is not in the histogram
+        assert by_stage[("destage", "page-program")]["count"] == 1
+
+    def test_csv_and_json_round_trip(self, tmp_path):
+        _engine, tracer = build_traced_run()
+        summary = stage_summary([tracer])
+        json_path = tmp_path / "summary.json"
+        csv_path = tmp_path / "summary.csv"
+        write_summary_json(json_path, summary)
+        write_summary_csv(csv_path, summary)
+        loaded = json.loads(json_path.read_text())
+        assert len(loaded["stages"]) == len(summary["stages"])
+        header, *rows = csv_path.read_text().strip().splitlines()
+        assert header == ",".join(SUMMARY_CSV_COLUMNS)
+        assert len(rows) == len(summary["stages"])
+
+    def test_format_summary_is_human_readable(self):
+        _engine, tracer = build_traced_run()
+        text = format_summary(stage_summary([tracer]))
+        assert "cmb" in text
+        assert "intake" in text
+
+
+class TestValidator:
+    def test_accepts_exporter_output(self):
+        _engine, tracer = build_traced_run()
+        payload = {"traceEvents": chrome_trace_events([tracer])}
+        assert validate_trace_events(payload) == []
+
+    def test_rejects_malformed_events(self):
+        bad = {"traceEvents": [
+            {"ph": "Q", "pid": 1, "tid": 1, "ts": 0, "name": "x"},
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 0, "name": "y"},  # no dur
+            {"ph": "i", "pid": "one", "tid": 1, "ts": 0, "name": "z", "s": "t"},
+        ]}
+        errors = validate_trace_events(bad)
+        assert len(errors) == 3
+
+    def test_rejects_non_object_and_empty(self):
+        assert validate_trace_events([]) != []
+        assert validate_trace_events({"traceEvents": []}) != []
+
+    def test_unreadable_file_reports_error(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert validate_trace_file(missing) != []

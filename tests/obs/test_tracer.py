@@ -1,0 +1,233 @@
+"""Tracer, capture, histogram, and gauge-sampler unit tests."""
+
+import pytest
+
+from repro.host.api import XssdLogFile
+from repro.obs import GaugeSampler, LogHistogram, Tracer, capture
+from repro.obs.gauges import GAUGE_PATHS
+from repro.obs.trace import CounterSample, Instant, Span, current_session
+from repro.sim import NULL_TRACER, Engine
+from tests.conftest import make_xssd_device
+
+
+def traced_engine():
+    """A fresh engine with a recording tracer installed."""
+    engine = Engine()
+    engine.tracer = Tracer(engine, label="test")
+    return engine, engine.tracer
+
+
+class TestNullTracer:
+    def test_engine_default_is_the_shared_null_tracer(self):
+        assert Engine().tracer is NULL_TRACER
+        assert NULL_TRACER.enabled is False
+
+    def test_null_tracer_calls_are_noops(self):
+        token = NULL_TRACER.begin("track", "name", flow=3)
+        assert token is None
+        NULL_TRACER.end(token)
+        NULL_TRACER.set_flow(token, 5)
+        NULL_TRACER.instant("track", "name")
+        NULL_TRACER.counter("track", "name", 1)
+
+
+class TestSpans:
+    def test_span_measures_sim_time(self):
+        engine, tracer = traced_engine()
+
+        def proc():
+            token = tracer.begin("cmb", "intake", flow=64, nbytes=64)
+            yield engine.timeout(1_500.0)
+            tracer.end(token, advanced=64)
+
+        engine.process(proc())
+        engine.run()
+        (span,) = tracer.spans("cmb", "intake")
+        assert span.duration_ns == 1_500.0
+        assert span.flow == 64
+        assert span.args == {"nbytes": 64, "advanced": 64}
+        assert tracer.open_spans == 0
+
+    def test_end_twice_raises(self):
+        _engine, tracer = traced_engine()
+        token = tracer.begin("t", "s")
+        tracer.end(token)
+        with pytest.raises(ValueError):
+            tracer.end(token)
+
+    def test_end_none_token_is_noop(self):
+        _engine, tracer = traced_engine()
+        tracer.end(None)
+        assert tracer.events == []
+
+    def test_set_flow_fills_late_causality_id(self):
+        _engine, tracer = traced_engine()
+        token = tracer.begin("host", "x_pwrite")
+        assert token.flow is None
+        tracer.set_flow(token, 4096)
+        assert token.flow == 4096
+
+    def test_finished_spans_feed_the_stage_histogram(self):
+        engine, tracer = traced_engine()
+
+        def proc():
+            for _ in range(4):
+                token = tracer.begin("ch0", "program")
+                yield engine.timeout(1_000.0)
+                tracer.end(token)
+
+        engine.process(proc())
+        engine.run()
+        histogram = tracer.histograms[("ch0", "program")]
+        assert histogram.count == 4
+        assert histogram.total == 4_000.0
+
+
+class TestEventsAndIntrospection:
+    def test_emission_order_is_preserved(self):
+        _engine, tracer = traced_engine()
+        tracer.instant("a", "fault")
+        token = tracer.begin("b", "span")
+        tracer.counter("c", "gauge", 7)
+        tracer.end(token)
+        kinds = [type(event) for event in tracer.events]
+        assert kinds == [Instant, Span, CounterSample]
+
+    def test_tracks_in_first_seen_order(self):
+        _engine, tracer = traced_engine()
+        tracer.instant("zeta", "x")
+        tracer.instant("alpha", "y")
+        tracer.instant("zeta", "z")
+        assert tracer.tracks() == ["zeta", "alpha"]
+
+    def test_tail_renders_the_newest_events(self):
+        _engine, tracer = traced_engine()
+        for index in range(30):
+            tracer.instant("t", f"e{index}")
+        tail = tracer.tail(limit=5)
+        assert len(tail) == 5
+        assert "e29" in tail[-1]
+
+
+class TestCapture:
+    def test_capture_attaches_tracers_to_new_engines(self):
+        assert current_session() is None
+        with capture() as session:
+            assert current_session() is session
+            first = Engine()
+            second = Engine()
+            assert first.tracer is session.tracers[0]
+            assert second.tracer is session.tracers[1]
+            assert first.tracer.label == "engine-0"
+        assert current_session() is None
+        assert Engine().tracer is NULL_TRACER
+
+    def test_capture_does_not_nest(self):
+        with capture():
+            with pytest.raises(RuntimeError):
+                with capture():
+                    pass
+
+    def test_session_counts_events_across_engines(self):
+        with capture() as session:
+            first = Engine()
+            second = Engine()
+            first.tracer.instant("t", "a")
+            second.tracer.instant("t", "b")
+            second.tracer.instant("t", "c")
+        assert session.events_recorded == 3
+        assert len(session.tail()) == 3
+
+
+class TestLogHistogram:
+    def test_bucket_bounds_cover_recorded_values(self):
+        histogram = LogHistogram()
+        for value in (0.5, 1.0, 3.0, 900.0, 70_000.0):
+            histogram.record(value)
+        assert histogram.count == 5
+        assert histogram.min == 0.5
+        assert histogram.max == 70_000.0
+
+    def test_quantiles_are_monotone_and_bounded(self):
+        histogram = LogHistogram()
+        for value in range(1, 101):
+            histogram.record(float(value))
+        p50 = histogram.quantile(0.5)
+        p90 = histogram.quantile(0.9)
+        p99 = histogram.quantile(0.99)
+        assert p50 <= p90 <= p99
+        assert p99 <= histogram.max  # quantiles are clamped to the max
+
+    def test_to_dict_carries_the_summary_columns(self):
+        histogram = LogHistogram()
+        histogram.record(10.0)
+        data = histogram.to_dict()
+        for key in ("count", "total_ns", "mean_ns", "min_ns", "max_ns",
+                    "p50_ns", "p90_ns", "p99_ns"):
+            assert key in data
+        assert data["count"] == 1
+
+
+class TestDeviceHooks:
+    def test_write_path_emits_spans_on_every_layer(self):
+        with capture():
+            engine, device = make_xssd_device()
+            tracer = engine.tracer
+            log = XssdLogFile(device)
+
+            def writer():
+                yield log.x_pwrite("payload", 4096)
+                yield log.x_fsync()
+
+            engine.process(writer())
+            engine.run(until=2e6)
+        tracks = set(tracer.tracks())
+        assert f"host:{device.name}" in tracks
+        assert device.cmb.name in tracks
+        assert device.destage.name in tracks
+        assert any(".ch" in track for track in tracks)  # NAND channels
+        assert tracer.spans(device.destage.name, "page-program")
+        assert tracer.open_spans == 0
+
+    def test_disabled_tracer_records_nothing(self):
+        engine, device = make_xssd_device()
+        assert engine.tracer is NULL_TRACER
+        log = XssdLogFile(device)
+
+        def writer():
+            yield log.x_pwrite("payload", 4096)
+            yield log.x_fsync()
+
+        engine.process(writer())
+        engine.run(until=2e6)
+        assert device.cmb.credit.value == 4096  # the write still happened
+
+
+class TestGaugeSampler:
+    def test_sample_emits_all_gauges_without_advancing_time(self):
+        with capture():
+            engine, device = make_xssd_device()
+        sampler = GaugeSampler(engine.tracer, device)
+        before = engine.now
+        snapshot = sampler.sample()
+        assert engine.now == before
+        assert snapshot["time_ns"] == before
+        counters = [event for event in engine.tracer.events
+                    if isinstance(event, CounterSample)]
+        assert len(counters) == len(GAUGE_PATHS)
+        assert {c.track for c in counters} == {f"{device.name}.gauges"}
+
+    def test_periodic_sampling_follows_the_period(self):
+        with capture():
+            engine, device = make_xssd_device()
+        sampler = GaugeSampler(engine.tracer, device, period_ns=10_000.0)
+        sampler.start()
+        engine.run(until=45_000.0)
+        sampler.stop()
+        assert sampler.samples_taken == 4  # t=10,20,30,40 us
+
+    def test_rejects_nonpositive_period(self):
+        with capture():
+            engine, device = make_xssd_device()
+        with pytest.raises(ValueError):
+            GaugeSampler(engine.tracer, device, period_ns=0)
