@@ -10,6 +10,7 @@ Usage::
     python -m repro.bench all
     python -m repro.bench kernel [--events 200000] [--repeat 3]
     python -m repro.bench chaos [--seed 7] [--faults plan.json]
+    python -m repro.bench check [--scenario chain --budget 200 ...]
     python -m repro.bench trace [--scenario chain|fig09|chaos] [--out t.json]
 
 Every subcommand accepts ``--jobs N`` (fan the figure's independent cells
@@ -300,6 +301,12 @@ def build_parser():
     chaos.add_argument("--txns", type=int, default=160,
                        help="transactions in the primary workload")
 
+    subparsers.add_parser(
+        "check",
+        help="crash-consistency model checker (python -m repro.check)",
+        add_help=False,
+    )
+
     trace = subparsers.add_parser(
         "trace", help="capture a full-stack trace of one scenario")
     trace.add_argument("--scenario", choices=["chain", "fig09", "chaos"],
@@ -354,6 +361,13 @@ def _capturing(trace_path, figure, body):
 
 
 def main(argv=None):
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["check"]:
+        # Pure passthrough before argparse (REMAINDER chokes on leading
+        # options): the checker owns its CLI (see CHECKING.md).
+        from repro.check.__main__ import main as check_main
+
+        return check_main(argv[1:])
     args = build_parser().parse_args(argv)
     json_path = getattr(args, "json", None)
     trace_path = getattr(args, "trace", None)

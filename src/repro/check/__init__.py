@@ -1,0 +1,56 @@
+"""Crash-consistency model checking: enumerate, replay, diff, shrink.
+
+The chaos suite (``repro.faults``) samples random fault plans; this
+package *enumerates* crash schedules — one primary power loss (plus
+optional perturbations: replica crashes, partitions, torn writes,
+supercap failures) at every pipeline transition a probe run observes:
+host submit → CMB ack → destage dispatch → NAND program → destage ack →
+replica ack → WAL commit.  Each schedule's post-crash recovery is
+replayed through :mod:`repro.db.recovery` and diffed against
+:class:`~repro.check.model.ReferenceModel`, a ~150-line executable spec
+of the paper's durability and prefix-replication guarantees.  Failing
+schedules are greedily shrunk to a minimal re-runnable reproducer.
+
+Entry point: ``python -m repro.check --scenario {local,chain,multiwriter}
+--budget N [--exhaustive]``.  See CHECKING.md.
+"""
+
+from repro.check.model import ReferenceModel, chain_frontier_violations
+from repro.check.points import (
+    STAGES,
+    crash_candidates,
+    extract_transitions,
+)
+from repro.check.runner import (
+    CheckConfig,
+    CheckReport,
+    Outcome,
+    probe_transitions,
+    run_check,
+    run_schedule,
+)
+from repro.check.schedules import CrashSchedule, enumerate_schedules
+from repro.check.shrink import (
+    replay_reproducer,
+    shrink_schedule,
+    write_reproducer,
+)
+
+__all__ = [
+    "ReferenceModel",
+    "chain_frontier_violations",
+    "STAGES",
+    "extract_transitions",
+    "crash_candidates",
+    "CheckConfig",
+    "CheckReport",
+    "Outcome",
+    "probe_transitions",
+    "run_check",
+    "run_schedule",
+    "CrashSchedule",
+    "enumerate_schedules",
+    "shrink_schedule",
+    "write_reproducer",
+    "replay_reproducer",
+]

@@ -1,0 +1,102 @@
+"""CLI for the crash-consistency checker.
+
+Examples::
+
+    python -m repro.check --scenario chain --budget 500
+    python -m repro.check --scenario multiwriter --budget 200 --seed 7
+    python -m repro.check --scenario local --exhaustive
+    python -m repro.check --replay reproducers/chain-combo-2500000ns-seed0.json
+
+Exit status 0 when every schedule passes (or a replayed reproducer no
+longer fails), 1 on violations.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.check.runner import CheckConfig, run_check
+from repro.check.shrink import replay_reproducer
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Crash-consistency model checker for the X-SSD stack.",
+    )
+    parser.add_argument("--scenario", choices=CheckConfig.SCENARIOS,
+                        default="chain",
+                        help="workload/topology to check (default: chain)")
+    parser.add_argument("--budget", type=int, default=200,
+                        help="max schedules to run (default: 200)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed for workload and combo faults")
+    parser.add_argument("--exhaustive", action="store_true",
+                        help="run every enumerated schedule, ignoring "
+                             "--budget (bounded-exhaustive mode)")
+    parser.add_argument("--secondaries", type=int, default=2,
+                        help="chain length behind the primary (default: 2)")
+    parser.add_argument("--transactions", type=int, default=24,
+                        help="workload transactions (default: 24)")
+    parser.add_argument("--out-dir", default="reproducers",
+                        help="directory for shrunk reproducer dumps "
+                             "(default: reproducers/)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the full report as JSON")
+    parser.add_argument("--replay", metavar="PATH", default=None,
+                        help="re-run a dumped reproducer instead of checking")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    emit = (lambda message: None) if args.quiet else print
+
+    if args.replay is not None:
+        outcome = replay_reproducer(args.replay)
+        if outcome.ok:
+            emit(f"reproducer {args.replay}: no longer fails")
+            return 0
+        emit(f"reproducer {args.replay}: still failing")
+        for violation in outcome.flat_violations():
+            emit(f"  {violation}")
+        return 1
+
+    config = CheckConfig(scenario=args.scenario, seed=args.seed,
+                         secondaries=args.secondaries,
+                         transactions=args.transactions)
+    report = run_check(config, budget=args.budget,
+                       exhaustive=args.exhaustive, out_dir=args.out_dir,
+                       log=emit)
+
+    families = ", ".join(
+        f"{family}:{count}"
+        for family, count in report.family_histogram().items()
+    )
+    emit(f"scenario={config.scenario} seed={config.seed}: "
+         f"{len(report.schedules)} schedules run "
+         f"({report.distinct_schedules} distinct; {families})")
+    if report.ok:
+        emit("all schedules passed: recovered state matched the reference "
+             "model everywhere")
+    else:
+        emit(f"{len(report.failures)} schedules FAILED")
+        for entry in report.reproducers:
+            where = entry.get("path", "<no dump>")
+            emit(f"  minimal reproducer ({entry['fault_events']} fault "
+                 f"events after {entry['shrink_trials']} shrink trials): "
+                 f"{where}")
+            for violation in entry["violations"][:5]:
+                emit(f"    {violation}")
+    if args.json is not None:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        emit(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

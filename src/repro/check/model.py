@@ -1,0 +1,187 @@
+"""The reference model: an executable spec of X-SSD's durability promise.
+
+What the paper guarantees a database (Sections 4.1, 4.2, 5):
+
+1. **Prefix durability** — after a crash with working reserve energy,
+   what survives is the state produced by some *prefix* of each writer's
+   commit sequence, in submission order.  No holes (a later commit
+   visible while an earlier one is lost), no fabricated values.
+2. **Ack coverage** — that prefix covers every commit that was
+   acknowledged to the client.  A failed supercap waives coverage (the
+   ablation the paper rules out) but never prefix-ness of what survived.
+3. **Chain prefix** — a replica never holds a contiguous log frontier
+   beyond what its chain predecessor ever contiguously received: replicas
+   are prefixes of their upstream, so failover cannot resurrect bytes the
+   rest of the chain disowned.
+
+The model tracks, per writer, the commit sequence and the ack count —
+nothing else — and diffs recovered state against *every* admissible
+prefix.  It deliberately knows nothing about batches, pages, credits, or
+rings: if the simulated machinery and this ~hundred-line spec disagree,
+one of them is wrong, and the spec is small enough to audit by eye.
+"""
+
+
+class ReferenceModel:
+    """Per-writer commit sequences plus ack counts; diffs recovered state.
+
+    Writers must own disjoint key sets (the multiwriter scenario gives
+    each worker its own key prefix); ``committed`` enforces this, because
+    cross-writer overwrites would make "per-writer prefix" ill-defined.
+    """
+
+    def __init__(self):
+        self._sequences = {}  # writer -> [(txn_id, [(key, value), ...]), ...]
+        self._acked = {}  # writer -> count of acknowledged commits
+        self._owner = {}  # key -> writer
+        self._values = {}  # key -> set of every value ever written
+
+    # -- recording the workload ----------------------------------------------------
+
+    def committed(self, writer, txn_id, writes):
+        """Record one commit *submission* (before the ack arrives)."""
+        sequence = self._sequences.setdefault(writer, [])
+        self._acked.setdefault(writer, 0)
+        for key, value in writes:
+            owner = self._owner.setdefault(key, writer)
+            if owner != writer:
+                raise ValueError(
+                    f"key {key!r} written by both {owner!r} and {writer!r}; "
+                    f"the model needs disjoint key sets per writer"
+                )
+            self._values.setdefault(key, set()).add(value)
+        sequence.append((txn_id, list(writes)))
+        return len(sequence) - 1
+
+    def acknowledged(self, writer):
+        """Record that the writer's next unacked commit was acknowledged."""
+        self._acked[writer] += 1
+
+    def aborted(self, writer):
+        """Retract the writer's most recent submission (commit refused)."""
+        self._sequences[writer].pop()
+
+    # -- introspection -------------------------------------------------------------
+
+    def writers(self):
+        return list(self._sequences)
+
+    def total_committed(self):
+        return sum(len(seq) for seq in self._sequences.values())
+
+    def total_acked(self):
+        return sum(self._acked.values())
+
+    def prefix_state(self, writer, length):
+        """The key/value state after the first ``length`` commits."""
+        state = {}
+        for _txn_id, writes in self._sequences.get(writer, [])[:length]:
+            for key, value in writes:
+                state[key] = value
+        return state
+
+    # -- the differential oracles --------------------------------------------------
+
+    def diff_recovered(self, recovered, require_acked=True):
+        """Violations of prefix durability in a recovered key/value dict.
+
+        ``recovered`` holds the post-recovery table contents across all
+        writers.  For each writer, the slice of ``recovered`` over that
+        writer's keys must equal ``prefix_state(writer, k)`` for some
+        ``k`` — at least the ack count when ``require_acked`` (reserve
+        energy worked), any ``k`` otherwise.
+        """
+        violations = []
+        for key, value in recovered.items():
+            if key not in self._owner:
+                violations.append(
+                    f"model: recovered key {key!r} was never written"
+                )
+            elif value not in self._values[key]:
+                violations.append(
+                    f"model: recovered {key!r}={value!r} was never written"
+                )
+        for writer, sequence in self._sequences.items():
+            slice_ = {
+                key: value for key, value in recovered.items()
+                if self._owner.get(key) == writer
+            }
+            total = len(sequence)
+            acked = self._acked[writer]
+            floor = acked if require_acked else 0
+            matched = [
+                k for k in range(total + 1)
+                if self.prefix_state(writer, k) == slice_
+            ]
+            if any(k >= floor for k in matched):
+                continue
+            if matched:
+                violations.append(
+                    f"model: {writer} recovered only {max(matched)} of "
+                    f"{acked} acknowledged commits (of {total} submitted)"
+                )
+            else:
+                expected = self.prefix_state(writer, floor)
+                missing = sorted(
+                    key for key in expected if slice_.get(key) != expected[key]
+                )
+                violations.append(
+                    f"model: {writer} state matches no commit prefix "
+                    f"(acked={acked}, submitted={total}; first divergent "
+                    f"keys: {missing[:3]})"
+                )
+        return violations
+
+    def diff_commit_prefix(self, durable_txn_ids, require_acked=True):
+        """Violations of commit *ordering* in the durable log itself.
+
+        ``durable_txn_ids`` come from the recovered log (COMMIT records in
+        LSN order).  Projected onto each writer, they must be exactly
+        that writer's submission-order prefix — a durable commit whose
+        predecessor is missing means acks could outrun durability — and
+        the prefix must cover the ack count when reserve energy held.
+        """
+        violations = []
+        durable = set(durable_txn_ids)
+        for writer, sequence in self._sequences.items():
+            ids = [txn_id for txn_id, _writes in sequence]
+            prefix = 0
+            while prefix < len(ids) and ids[prefix] in durable:
+                prefix += 1
+            stragglers = [txn_id for txn_id in ids[prefix:] if txn_id in durable]
+            if stragglers:
+                violations.append(
+                    f"model: {writer} commit {stragglers[0]} durable but "
+                    f"predecessor {ids[prefix]} is not (prefix rule broken)"
+                )
+            if require_acked and prefix < self._acked[writer]:
+                violations.append(
+                    f"model: {writer} acked {self._acked[writer]} commits "
+                    f"but only {prefix} are durable"
+                )
+        return violations
+
+
+def chain_frontier_violations(order, frontiers, received, dirty_sites=()):
+    """No replica holds a contiguous frontier its predecessor never had.
+
+    ``order`` is the final chain order (dead, spliced-out servers already
+    removed); ``frontiers[name]`` is each server's contiguous persisted
+    frontier (credit counter, or crash-report durable offset for a downed
+    server); ``received[name]`` is the contiguous byte frontier the
+    server ever *received* (stream-recorder coverage from offset 0).  A
+    predecessor that suffered a dirty crash (``dirty_sites``) legitimately
+    lost data its successors still hold — that is what replication is
+    for — so those pairs are waived.
+    """
+    violations = []
+    for pred, succ in zip(order, order[1:]):
+        if pred in dirty_sites:
+            continue
+        if frontiers.get(succ, 0) > received.get(pred, 0):
+            violations.append(
+                f"chain-prefix: {succ} persisted {frontiers[succ]:.0f} "
+                f"bytes but predecessor {pred} only ever received a "
+                f"contiguous {received[pred]:.0f}"
+            )
+    return violations

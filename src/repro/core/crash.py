@@ -80,6 +80,11 @@ class PowerLossInjector:
         """
         device = self.device
         credit_at_crash = device.cmb.credit.value
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant(device.name, "power-loss",
+                           credit=credit_at_crash,
+                           reserve_ok=self.reserve_energy_ok)
         device.halt()
         salvaged = 0
         pages = 0

@@ -206,6 +206,7 @@ class DestageModule:
                 tracer.end(token)
             tracer.counter(self.name, "outstanding", self._outstanding)
         self._completed_pages[sequence] = page
+        advanced = False
         while self.durable_tail in self._completed_pages:
             applied = self._completed_pages.pop(self.durable_tail)
             self.durable_tail += 1
@@ -213,6 +214,16 @@ class DestageModule:
             self.filler_bytes_total += applied.filler_bytes
             # Durable prefix (space was already released at issue time).
             self.destaged_offset = applied.end_offset
+            advanced = True
+        if advanced and tracer.enabled:
+            # The *publication* point: out-of-order completions only
+            # become durable here, so this instant — not the program-done
+            # span end — is the destage-ack transition checkers care
+            # about.
+            tracer.instant(self.name, "destage-ack",
+                           flow=self.destaged_offset,
+                           offset=self.destaged_offset,
+                           tail=self.durable_tail)
         self._wake()
 
     @property

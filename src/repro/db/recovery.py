@@ -43,6 +43,21 @@ def extract_records(pages):
     return records
 
 
+def durable_commit_ids(pages):
+    """Transaction ids whose COMMIT record is fully durable, in LSN order.
+
+    The commit order on the log is the order transactions became durable,
+    which is what differential checkers compare against a reference
+    model's submission order.
+    """
+    commits = [
+        record for record in extract_records(pages)
+        if record.kind is RecordKind.COMMIT
+    ]
+    commits.sort(key=lambda record: record.lsn)
+    return [record.txn_id for record in commits]
+
+
 def recover_from_pages(database, pages):
     """Redo the durable log into ``database``'s tables.
 

@@ -82,14 +82,42 @@ class FaultSpec:
                 f"kind={self.kind.value})")
 
 
-class FaultPlan:
-    """A deterministic, time-ordered fault schedule."""
+def _canonical_key(spec):
+    """Total order over specs: time, then site, then kind, then params.
 
-    def __init__(self, specs=()):
+    Sorting by time alone leaves same-instant entries in insertion order,
+    so two plans with identical content could serialize differently
+    depending on construction history.  The full key makes the ordering —
+    and therefore the JSON text — a function of the plan's *content*.
+    """
+    return (
+        spec.time_ns,
+        str(spec.site),
+        spec.kind.value,
+        sorted((str(k), str(v)) for k, v in spec.params.items()),
+    )
+
+
+class FaultPlan:
+    """A deterministic, time-ordered fault schedule.
+
+    ``excluded`` carries specs a shrinking pass removed from the active
+    schedule: a minimal reproducer stays self-describing (what was tried
+    and found irrelevant) without those faults ever being injected.
+    Both lists are kept in canonical order so equal plans serialize to
+    identical bytes.
+    """
+
+    def __init__(self, specs=(), excluded=()):
         self.specs = sorted(
             (spec if isinstance(spec, FaultSpec) else FaultSpec(**spec)
              for spec in specs),
-            key=lambda spec: spec.time_ns,
+            key=_canonical_key,
+        )
+        self.excluded = sorted(
+            (spec if isinstance(spec, FaultSpec) else FaultSpec(**spec)
+             for spec in excluded),
+            key=_canonical_key,
         )
 
     def __iter__(self):
@@ -99,10 +127,20 @@ class FaultPlan:
         return len(self.specs)
 
     def add(self, time_ns, site, kind, **params):
-        """Append one fault, keeping the schedule time-sorted."""
+        """Append one fault, keeping the schedule canonically sorted."""
         self.specs.append(FaultSpec(time_ns, site, kind, params))
-        self.specs.sort(key=lambda spec: spec.time_ns)
+        self.specs.sort(key=_canonical_key)
         return self
+
+    def without(self, index):
+        """A new plan with spec ``index`` moved to the excluded list.
+
+        The shrinker's primitive: the dropped fault is remembered, not
+        forgotten, so a shrunk reproducer records what was ruled out.
+        """
+        specs = list(self.specs)
+        dropped = specs.pop(index)
+        return FaultPlan(specs, excluded=list(self.excluded) + [dropped])
 
     def kinds(self):
         """The distinct fault kinds this plan injects."""
@@ -123,16 +161,27 @@ class FaultPlan:
         return [spec.as_dict() for spec in self.specs]
 
     def to_json(self, path=None):
-        text = json.dumps({"faults": self.as_dicts()}, indent=2,
-                          sort_keys=True) + "\n"
+        """Canonical JSON: sorted keys, canonical spec order, trailing \\n.
+
+        Byte-stable: two plans with the same content produce identical
+        text regardless of how they were built, so shrunk reproducers can
+        be diffed (and deduplicated) across runs.
+        """
+        payload = {"faults": self.as_dicts()}
+        if self.excluded:
+            payload["excluded"] = [spec.as_dict() for spec in self.excluded]
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
         if path is not None:
             with open(path, "w", encoding="utf-8") as handle:
                 handle.write(text)
         return text
 
     @classmethod
-    def from_dicts(cls, dicts):
-        return cls(FaultSpec.from_dict(entry) for entry in dicts)
+    def from_dicts(cls, dicts, excluded=()):
+        return cls(
+            (FaultSpec.from_dict(entry) for entry in dicts),
+            excluded=(FaultSpec.from_dict(entry) for entry in excluded),
+        )
 
     @classmethod
     def from_json(cls, text_or_path):
@@ -141,7 +190,8 @@ class FaultPlan:
         if not text.lstrip().startswith("{"):
             with open(text_or_path, "r", encoding="utf-8") as handle:
                 text = handle.read()
-        return cls.from_dicts(json.loads(text)["faults"])
+        data = json.loads(text)
+        return cls.from_dicts(data["faults"], data.get("excluded", ()))
 
     # -- seeded generation ----------------------------------------------------------
 

@@ -1,0 +1,201 @@
+"""Golden regressions for the figure experiments (fig09-fig13).
+
+The simulator is deterministic, so each figure's reduced cells produce
+identical numbers on every run of the same code.  These tests freeze
+those numbers (rounded summary stats plus the qualitative shape the
+paper's figure hinges on) into ``tests/bench/golden/*.json`` and fail on
+any drift — a perf optimisation that silently changes simulated physics
+shows up here first.
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python tests/bench/test_golden_figures.py regen
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+ROUND_DIGITS = 6
+REL_TOL = 1e-6
+
+
+def _round(value):
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            return repr(value)
+        return round(value, ROUND_DIGITS)
+    return value
+
+
+def _freeze(rows):
+    return [
+        {key: _round(value) for key, value in sorted(row.items())}
+        for row in rows
+    ]
+
+
+# -- reduced cells per figure (small enough for tier-1, same physics) --------------
+
+
+def compute_fig09():
+    from repro.bench.fig09_local_logging import run_one
+
+    rows = [
+        run_one(setup, workers, transactions_per_worker=30)
+        for setup in ("nvme", "villars-sram")
+        for workers in (1, 4)
+    ]
+    return _freeze(rows)
+
+
+def compute_fig10():
+    from repro.bench.fig10_write_combining import run_one
+    from repro.sim.units import KIB
+
+    rows = [
+        run_one("sram", policy, write_bytes, total_bytes=32 * KIB)
+        for policy in ("WC", "UC")
+        for write_bytes in (8, 64, 512)
+    ]
+    return _freeze(rows)
+
+
+def compute_fig11():
+    from repro.bench.fig11_queue_size import run_one
+    from repro.sim.units import KIB
+
+    rows = [
+        run_one(group_bytes, queue_bytes, writes=16)
+        for group_bytes in (4 * KIB, 16 * KIB)
+        for queue_bytes in (4 * KIB, 64 * KIB)
+    ]
+    return _freeze(rows)
+
+
+def compute_fig12():
+    from repro.bench.fig12_destage_priority import run_one
+
+    rows = [
+        run_one(mode, 0.6, duration_ns=10e6)
+        for mode in ("neutral", "conventional-priority")
+    ]
+    return _freeze(rows)
+
+
+def compute_fig13():
+    from repro.bench.fig13_replication_delay import run_one
+
+    rows = [run_one(period, writes=60) for period in (0.4, 1.6)]
+    return _freeze(rows)
+
+
+COMPUTES = {
+    "fig09": compute_fig09,
+    "fig10": compute_fig10,
+    "fig11": compute_fig11,
+    "fig12": compute_fig12,
+    "fig13": compute_fig13,
+}
+
+
+def _compare(actual_rows, golden_rows, name):
+    assert len(actual_rows) == len(golden_rows), (
+        f"{name}: cell count changed "
+        f"({len(actual_rows)} vs golden {len(golden_rows)})"
+    )
+    for index, (actual, golden) in enumerate(zip(actual_rows, golden_rows)):
+        assert set(actual) == set(golden), (
+            f"{name}[{index}]: row keys changed"
+        )
+        for key, expected in golden.items():
+            value = actual[key]
+            if isinstance(expected, float) and isinstance(value, float):
+                assert value == pytest.approx(expected, rel=REL_TOL), (
+                    f"{name}[{index}].{key}: {value} != golden {expected}"
+                )
+            else:
+                assert value == expected, (
+                    f"{name}[{index}].{key}: {value!r} != golden {expected!r}"
+                )
+
+
+@pytest.mark.parametrize("name", sorted(COMPUTES))
+def test_figure_matches_golden(name):
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"missing golden {path}; regenerate with "
+        f"`PYTHONPATH=src python {__file__} regen`"
+    )
+    golden = json.loads(path.read_text())
+    actual = COMPUTES[name]()
+    _compare(actual, golden, name)
+
+
+# -- qualitative shape: the claims the paper's figures make -----------------------
+
+
+def test_fig09_villars_beats_nvme_logging():
+    rows = json.loads((GOLDEN_DIR / "fig09.json").read_text())
+    by = {(r["setup"], r["workers"]): r for r in rows}
+    for workers in (1, 4):
+        assert (by[("villars-sram", workers)]["throughput_ktps"]
+                > by[("nvme", workers)]["throughput_ktps"])
+        assert (by[("villars-sram", workers)]["mean_latency_us"]
+                < by[("nvme", workers)]["mean_latency_us"])
+
+
+def test_fig10_write_combining_wins_at_cacheline_writes():
+    rows = json.loads((GOLDEN_DIR / "fig10.json").read_text())
+    by = {(r["policy"], r["write_bytes"]): r for r in rows}
+    # The paper's Fig. 10 claim: WC batches 64 B writes into full-line
+    # TLPs, beating UC's per-write flushes by a wide margin.
+    assert (by[("WC", 64)]["throughput_bytes_per_ns"]
+            > 2 * by[("UC", 64)]["throughput_bytes_per_ns"])
+    assert by[("WC", 64)]["tlps"] < by[("UC", 64)]["tlps"]
+
+
+def test_fig11_bigger_queue_never_hurts_throughput():
+    rows = json.loads((GOLDEN_DIR / "fig11.json").read_text())
+    by = {(r["group_kib"], r["queue_kib"]): r for r in rows}
+    for group_kib in (4, 16):
+        assert (by[(group_kib, 64)]["throughput_mb_per_s"]
+                >= by[(group_kib, 4)]["throughput_mb_per_s"] * 0.99)
+        # A large queue needs fewer credit-counter polls.
+        assert (by[(group_kib, 64)]["credit_checks"]
+                <= by[(group_kib, 4)]["credit_checks"])
+
+
+def test_fig12_priority_mode_protects_conventional_bandwidth():
+    rows = json.loads((GOLDEN_DIR / "fig12.json").read_text())
+    by = {r["mode"]: r for r in rows}
+    assert (by["conventional-priority"]["conv_achieved_pct"]
+            >= by["neutral"]["conv_achieved_pct"])
+
+
+def test_fig13_faster_updates_cut_latency_but_cost_bandwidth():
+    rows = json.loads((GOLDEN_DIR / "fig13.json").read_text())
+    by = {r["update_period_us"]: r for r in rows}
+    assert by[0.4]["latency_median_us"] <= by[1.6]["latency_median_us"]
+    assert by[0.4]["bandwidth_pct"] > by[1.6]["bandwidth_pct"]
+
+
+def regen():
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, compute in sorted(COMPUTES.items()):
+        rows = compute()
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path} ({len(rows)} rows)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if len(sys.argv) > 1 and sys.argv[1] == "regen":
+        regen()
+    else:
+        print(__doc__)

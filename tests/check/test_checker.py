@@ -1,0 +1,138 @@
+"""The checker end-to-end on a healthy stack: enumeration and clean runs."""
+
+import json
+
+import pytest
+
+from repro.check import (
+    CheckConfig,
+    CrashSchedule,
+    STAGES,
+    crash_candidates,
+    enumerate_schedules,
+    probe_transitions,
+    run_check,
+    run_schedule,
+)
+from repro.check.points import stage_coverage
+
+
+@pytest.fixture(scope="module")
+def chain_probe():
+    config = CheckConfig(scenario="chain")
+    return config, probe_transitions(config)
+
+
+def test_probe_covers_every_pipeline_stage(chain_probe):
+    _config, transitions = chain_probe
+    assert stage_coverage(transitions) == list(STAGES)
+
+
+def test_candidates_include_stage_points_and_midpoints(chain_probe):
+    _config, transitions = chain_probe
+    candidates = crash_candidates(transitions)
+    times = [time_ns for time_ns, _label in candidates]
+    assert times == sorted(times)
+    assert len(times) == len(set(times))
+    labels = {label for _time, label in candidates}
+    assert any(label.startswith("after-") for label in labels)
+    assert any(not label.startswith("after-") for label in labels)
+
+
+def test_enumeration_is_deterministic_and_distinct(chain_probe):
+    config, transitions = chain_probe
+    candidates = crash_candidates(transitions)
+    first = enumerate_schedules(config, candidates)
+    second = enumerate_schedules(config, candidates)
+    assert [s.key() for s in first] == [s.key() for s in second]
+    keys = [s.key() for s in first]
+    assert len(keys) == len(set(keys))
+    families = {s.family for s in first}
+    assert families >= {"primary-crash", "dirty-crash", "replica-crash",
+                        "replica-flap", "partition", "torn-write", "combo"}
+
+
+def test_budget_samples_every_family(chain_probe):
+    config, transitions = chain_probe
+    schedules = enumerate_schedules(config, crash_candidates(transitions))
+    head = {s.family for s in schedules[:20]}
+    assert head >= {"primary-crash", "dirty-crash", "replica-crash",
+                    "partition", "torn-write", "combo"}
+
+
+def test_schedule_dict_round_trip(chain_probe):
+    config, transitions = chain_probe
+    schedules = enumerate_schedules(config, crash_candidates(transitions))
+    with_faults = next(s for s in schedules if len(s.plan))
+    clone = CrashSchedule.from_dict(
+        json.loads(json.dumps(with_faults.as_dict()))
+    )
+    assert clone.key() == with_faults.key()
+    assert clone.end_time_ns == with_faults.end_time_ns
+
+
+def test_clean_chain_schedules_pass():
+    config = CheckConfig(scenario="chain")
+    report = run_check(config, budget=12)
+    assert report.ok
+    assert len(report.outcomes) == 12
+    assert report.distinct_schedules == 12
+    for outcome in report.outcomes:
+        assert outcome.stats["commits_submitted"] > 0
+
+
+@pytest.mark.parametrize("scenario", ["local", "multiwriter"])
+def test_clean_standalone_schedules_pass(scenario):
+    config = CheckConfig(scenario=scenario)
+    report = run_check(config, budget=8)
+    assert report.ok
+    assert len(report.outcomes) == 8
+
+
+def test_run_schedule_is_deterministic():
+    config = CheckConfig(scenario="chain")
+    candidates = crash_candidates(probe_transitions(config))
+    schedule = enumerate_schedules(config, candidates)[3]
+    first = run_schedule(config, schedule)
+    second = run_schedule(config, schedule)
+    assert first.ok == second.ok
+    assert first.stats == second.stats
+
+
+def test_dirty_crash_reports_lost_reserve_energy():
+    config = CheckConfig(scenario="local")
+    candidates = crash_candidates(probe_transitions(config))
+    schedules = enumerate_schedules(config, candidates)
+    dirty = next(s for s in schedules if s.family == "dirty-crash")
+    outcome = run_schedule(config, dirty)
+    assert outcome.ok  # losing unacked data cleanly is not a violation
+    assert outcome.stats["reserve_energy_ok"] is False
+
+
+def test_report_as_dict_is_json_ready():
+    config = CheckConfig(scenario="local")
+    report = run_check(config, budget=4)
+    payload = json.loads(json.dumps(report.as_dict(), sort_keys=True))
+    assert payload["ok"] is True
+    assert payload["schedules_run"] == 4
+    assert payload["schedules_enumerated"] >= 4
+
+
+def test_cli_smoke(tmp_path, capsys):
+    from repro.check.__main__ import main
+
+    status = main(["--scenario", "local", "--budget", "4",
+                   "--out-dir", str(tmp_path / "repros"),
+                   "--json", str(tmp_path / "report.json")])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "all schedules passed" in out
+    data = json.loads((tmp_path / "report.json").read_text())
+    assert data["ok"] is True
+
+
+def test_invalid_scenario_rejected():
+    with pytest.raises(ValueError):
+        CheckConfig(scenario="starfleet")
+    with pytest.raises(ValueError):
+        CheckConfig(scenario="chain", secondaries=0)

@@ -1,0 +1,122 @@
+"""The reference model's own semantics: prefixes, acks, fabrication."""
+
+import pytest
+
+from repro.check.model import ReferenceModel, chain_frontier_violations
+
+
+def _model_with(writer, commits, acked):
+    model = ReferenceModel()
+    for txn_id, writes in commits:
+        model.committed(writer, txn_id, writes)
+    for _ in range(acked):
+        model.acknowledged(writer)
+    return model
+
+
+def test_prefix_state_replays_overwrites():
+    model = ReferenceModel()
+    model.committed("w0", 1, [("a", "1")])
+    model.committed("w0", 2, [("a", "2"), ("b", "1")])
+    assert model.prefix_state("w0", 0) == {}
+    assert model.prefix_state("w0", 1) == {"a": "1"}
+    assert model.prefix_state("w0", 2) == {"a": "2", "b": "1"}
+
+
+def test_full_prefix_passes():
+    model = _model_with("w0", [(1, [("a", "1")]), (2, [("b", "2")])], acked=2)
+    assert model.diff_recovered({"a": "1", "b": "2"}) == []
+
+
+def test_unacked_tail_may_be_lost():
+    model = _model_with("w0", [(1, [("a", "1")]), (2, [("b", "2")])], acked=1)
+    assert model.diff_recovered({"a": "1"}) == []
+
+
+def test_losing_an_acked_commit_is_a_violation():
+    model = _model_with("w0", [(1, [("a", "1")]), (2, [("b", "2")])], acked=2)
+    violations = model.diff_recovered({"a": "1"})
+    assert violations and "acknowledged" in violations[0]
+
+
+def test_hole_in_the_prefix_is_a_violation():
+    model = _model_with("w0", [(1, [("a", "1")]), (2, [("b", "2")])], acked=0)
+    # b survived but its predecessor a did not: matches no prefix.
+    violations = model.diff_recovered({"b": "2"}, require_acked=False)
+    assert violations and "no commit prefix" in violations[0]
+
+
+def test_fabricated_key_and_value_flagged():
+    model = _model_with("w0", [(1, [("a", "1")])], acked=1)
+    violations = model.diff_recovered({"a": "1", "ghost": "9"})
+    assert any("never written" in v for v in violations)
+    violations = model.diff_recovered({"a": "999"})
+    assert any("never written" in v for v in violations)
+
+
+def test_dirty_crash_waives_acks_not_prefixness():
+    model = _model_with("w0", [(1, [("a", "1")]), (2, [("b", "2")])], acked=2)
+    assert model.diff_recovered({}, require_acked=False) == []
+    violations = model.diff_recovered({"b": "2"}, require_acked=False)
+    assert violations  # still must be a prefix
+
+
+def test_writers_must_own_disjoint_keys():
+    model = ReferenceModel()
+    model.committed("w0", 1, [("a", "1")])
+    with pytest.raises(ValueError):
+        model.committed("w1", 2, [("a", "2")])
+
+
+def test_aborted_retracts_the_last_submission():
+    model = ReferenceModel()
+    model.committed("w0", 1, [("a", "1")])
+    model.committed("w0", 2, [("b", "2")])
+    model.aborted("w0")
+    assert model.total_committed() == 1
+    assert model.diff_recovered({"a": "1"}, require_acked=False) == []
+
+
+def test_commit_prefix_accepts_in_order_durability():
+    model = _model_with("w0", [(1, [("a", "1")]), (2, [("b", "2")]),
+                               (3, [("c", "3")])], acked=2)
+    assert model.diff_commit_prefix([1, 2]) == []
+    assert model.diff_commit_prefix([1, 2, 3]) == []
+
+
+def test_commit_prefix_rejects_stragglers_and_short_acks():
+    model = _model_with("w0", [(1, [("a", "1")]), (2, [("b", "2")]),
+                               (3, [("c", "3")])], acked=2)
+    violations = model.diff_commit_prefix([1, 3])
+    assert any("prefix rule broken" in v for v in violations)
+    violations = model.diff_commit_prefix([1])
+    assert any("only 1 are durable" in v for v in violations)
+    # A dirty crash waives the ack floor but not ordering.
+    assert model.diff_commit_prefix([1], require_acked=False) == []
+
+
+def test_multiwriter_prefixes_are_independent():
+    model = ReferenceModel()
+    model.committed("w0", 1, [("a", "1")])
+    model.committed("w1", 2, [("x", "7")])
+    model.committed("w0", 3, [("b", "2")])
+    model.acknowledged("w0")
+    # w1 never acked: losing its commit entirely is fine; losing w0's is not.
+    assert model.diff_recovered({"a": "1"}) == []
+    assert model.diff_commit_prefix([1]) == []
+    assert model.diff_recovered({"x": "7"}) != []  # w0's acked "a" missing
+
+
+def test_chain_frontier_prefix_rule():
+    order = ["primary", "secondary-1", "secondary-2"]
+    received = {"primary": 1000, "secondary-1": 800, "secondary-2": 600}
+    frontiers = {"primary": 900, "secondary-1": 800, "secondary-2": 600}
+    assert chain_frontier_violations(order, frontiers, received) == []
+    # A replica ahead of what its predecessor ever received is a violation.
+    frontiers["secondary-2"] = 900
+    violations = chain_frontier_violations(order, frontiers, received)
+    assert violations and "secondary-2" in violations[0]
+    # ... unless the predecessor suffered a dirty crash.
+    assert chain_frontier_violations(
+        order, frontiers, received, dirty_sites={"secondary-1"}
+    ) == []

@@ -1,0 +1,93 @@
+"""A seeded ordering bug must be caught, shrunk, and reproducible.
+
+The mutation breaks the destage-ack path: after a page program completes
+and the durable tail is published, every odd page's FTL mapping is
+dropped.  The device still *acknowledges* the data as destaged — exactly
+the class of bug where acks outrun durability — so post-crash readback
+finds a hole, recovery loses committed transactions, and the model's
+prefix oracles must fire.
+"""
+
+import json
+
+import pytest
+
+from repro.check import (
+    CheckConfig,
+    crash_candidates,
+    enumerate_schedules,
+    probe_transitions,
+    replay_reproducer,
+    run_check,
+    run_schedule,
+    shrink_schedule,
+)
+from repro.core.destage import DestageModule
+
+
+@pytest.fixture
+def drop_odd_destage_mappings(monkeypatch):
+    """Seed the bug: publish the destage ack, then lose odd pages."""
+    real = DestageModule._on_programmed
+
+    def buggy(self, sequence, page):
+        real(self, sequence, page)
+        if sequence % 2 == 1:
+            lba = self.lba_ring_start + sequence % self.lba_ring_blocks
+            self.scheduler.ftl.table.unbind(lba)
+
+    monkeypatch.setattr(DestageModule, "_on_programmed", buggy)
+
+
+def test_checker_catches_and_shrinks_seeded_bug(drop_odd_destage_mappings,
+                                                tmp_path):
+    config = CheckConfig(scenario="chain")
+    report = run_check(config, budget=40, out_dir=tmp_path)
+    assert not report.ok, "the seeded destage-ack bug went undetected"
+    assert report.reproducers, "no reproducer was produced"
+    for entry in report.reproducers:
+        # Greedy shrinking must land well under the acceptance bound.
+        assert entry["fault_events"] <= 5
+        assert entry["violations"], "reproducer carries no violations"
+        assert "path" in entry
+
+    # The dumped reproducer replays to the same verdict (still failing
+    # while the bug is in place) and carries a trace tail for triage.
+    path = report.reproducers[0]["path"]
+    payload = json.loads(open(path).read())
+    assert payload["violations"]
+    assert payload["trace_tail"], "reproducer has no trace tail"
+    outcome = replay_reproducer(path)
+    assert not outcome.ok
+
+
+def test_seeded_bug_violations_name_the_failure(drop_odd_destage_mappings):
+    config = CheckConfig(scenario="chain")
+    candidates = crash_candidates(probe_transitions(config))
+    schedules = enumerate_schedules(config, candidates)
+    # A plain primary crash late in the run is enough to expose it.
+    late = max(
+        (s for s in schedules if s.family == "primary-crash"),
+        key=lambda s: s.end_time_ns,
+    )
+    outcome = run_schedule(config, late)
+    assert not outcome.ok
+    text = " ".join(outcome.flat_violations())
+    assert "unreadable" in text or "model" in text
+
+
+def test_shrinker_removes_irrelevant_faults(drop_odd_destage_mappings):
+    """With a bug that fails regardless of faults, shrinking removes all."""
+    config = CheckConfig(scenario="chain")
+    candidates = crash_candidates(probe_transitions(config))
+    schedules = enumerate_schedules(config, candidates)
+    combo = next(s for s in schedules if s.family == "combo" and
+                 len(s.plan) >= 2)
+    if run_schedule(config, combo).ok:
+        pytest.skip("this combo does not trip the seeded bug")
+    minimal, trials = shrink_schedule(
+        combo, lambda trial: not run_schedule(config, trial).ok
+    )
+    assert len(minimal.plan) == 0
+    assert len(minimal.plan.excluded) == len(combo.plan)
+    assert trials >= len(combo.plan)

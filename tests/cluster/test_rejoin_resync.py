@@ -1,0 +1,144 @@
+"""Rejoin + resync under repeated secondary crashes.
+
+The chaos suite exercises crash/rejoin through random plans; these tests
+pin the *deterministic* contract of ``Server.rejoin`` and
+``Cluster.resync``: a secondary that dies twice in quick succession must
+still converge to a content-identical prefix of the primary's stream,
+and the chain's visible counter must resume moving so parked commits
+drain.
+"""
+
+from repro.cluster.topology import replicated_chain
+from repro.faults.oracles import StreamRecorder, check_replica_prefix
+from repro.faults.scenario import chaos_config_factory
+from repro.sim import Engine
+
+
+def make_chain(secondaries=2, seed=0):
+    engine = Engine()
+    cluster = replicated_chain(engine, chaos_config_factory(seed),
+                               secondaries=secondaries)
+    recorders = {
+        name: StreamRecorder(server.device, name=name)
+        for name, server in cluster.servers.items()
+    }
+    database = cluster.primary.with_database(group_commit_bytes=384,
+                                             group_commit_timeout_ns=5_000.0)
+    database.create_table("kv")
+    return engine, cluster, database, recorders
+
+
+def start_commits(engine, database, count, key_space=4, gap_ns=50_000.0):
+    """A paced committer, so crashes land mid-stream rather than after."""
+    def proc():
+        for index in range(count):
+            txn = database.begin()
+            txn.write("kv", f"k{index % key_space}", f"v{index}")
+            yield txn.commit()
+            yield engine.timeout(gap_ns)
+    return engine.process(proc(), name="committer")
+
+
+def assert_converged(cluster, recorders):
+    primary_credit = cluster.primary.device.cmb.credit.value
+    assert primary_credit > 0
+    for server in cluster.secondaries():
+        assert server.device.cmb.credit.value == primary_credit, (
+            f"{server.name} stuck at {server.device.cmb.credit.value} "
+            f"of {primary_credit}"
+        )
+        violations = check_replica_prefix(
+            recorders["primary"], recorders[server.name],
+            secondary_credit=server.device.cmb.credit.value,
+        )
+        assert violations == [], violations
+
+
+def test_single_crash_rejoin_resync_converges():
+    engine, cluster, database, recorders = make_chain()
+    done = start_commits(engine, database, 12)
+    engine.run(until=engine.now + 300_000.0)
+
+    secondary = cluster.servers["secondary-1"]
+    secondary.crash()
+    assert secondary.device.halted
+    # Chain policy: with the middle replica silent, commits park.
+    engine.run(until=engine.now + 300_000.0)
+    assert not done.triggered
+
+    secondary.rejoin()
+    offered = cluster.resync("secondary-1")
+    assert offered > 0, "resync re-shipped nothing"
+    engine.run(until=engine.now + 3_000_000.0)
+    assert done.triggered
+    assert_converged(cluster, recorders)
+
+
+def test_back_to_back_crashes_same_secondary():
+    engine, cluster, database, recorders = make_chain()
+    done = start_commits(engine, database, 12)
+    engine.run(until=engine.now + 300_000.0)
+
+    secondary = cluster.servers["secondary-1"]
+    for _round in range(2):
+        secondary.crash()
+        engine.run(until=engine.now + 100_000.0)
+        secondary.rejoin()
+        cluster.resync("secondary-1")
+        # Barely any healing time before the second crash lands.
+        engine.run(until=engine.now + 50_000.0)
+
+    engine.run(until=engine.now + 3_000_000.0)
+    assert done.triggered
+    assert_converged(cluster, recorders)
+
+
+def test_back_to_back_crashes_across_both_secondaries():
+    engine, cluster, database, recorders = make_chain()
+    done = start_commits(engine, database, 10)
+    engine.run(until=engine.now + 300_000.0)
+
+    first = cluster.servers["secondary-1"]
+    second = cluster.servers["secondary-2"]
+    first.crash()
+    engine.run(until=engine.now + 50_000.0)
+    second.crash()
+    engine.run(until=engine.now + 100_000.0)
+
+    # Rejoin in reverse order: the tail comes back before its upstream,
+    # so its resync must wait until the middle server has history again.
+    second.rejoin()
+    cluster.resync("secondary-2")
+    first.rejoin()
+    cluster.resync("secondary-1")
+    cluster.resync("secondary-2")
+    engine.run(until=engine.now + 3_000_000.0)
+    assert done.triggered
+    assert_converged(cluster, recorders)
+
+
+def test_rejoin_requires_a_downed_server():
+    engine, cluster, _database, _recorders = make_chain()
+    import pytest
+
+    with pytest.raises(RuntimeError):
+        cluster.servers["secondary-1"].rejoin()
+
+
+def test_crashed_secondary_loses_nothing_it_confirmed():
+    """What a secondary confirmed before dying survives its reboot."""
+    engine, cluster, database, recorders = make_chain()
+    done = start_commits(engine, database, 8)
+    engine.run(until=engine.now + 500_000.0)
+
+    secondary = cluster.servers["secondary-1"]
+    confirmed_before = secondary.device.cmb.credit.value
+    report = secondary.crash()
+    assert report.durable_offset >= 0
+    engine.run(until=engine.now + 100_000.0)
+    secondary.rejoin()
+    cluster.resync("secondary-1")
+    engine.run(until=engine.now + 3_000_000.0)
+    assert done.triggered
+    assert secondary.device.cmb.credit.value >= confirmed_before
+    assert_converged(cluster, recorders)

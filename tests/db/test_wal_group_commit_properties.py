@@ -1,0 +1,151 @@
+"""Property tests for group-commit ordering under out-of-order flushes.
+
+The WAL's contract (the prefix rule): a transaction's commit is
+acknowledged only once its batch AND every earlier batch has reached
+storage.  These tests drive :class:`LogManager` against a scripted log
+file whose writes complete in adversarial orders chosen by hypothesis,
+and assert no acknowledgement ever outruns a predecessor batch.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.log_record import LogRecord, RecordKind
+from repro.db.wal import LogManager
+from repro.sim import Engine
+
+
+class ScriptedLogFile:
+    """An x_pwrite/x_fsync target whose write completions are hand-fired.
+
+    ``x_pwrite`` parks each batch behind an event the test triggers in
+    whatever order it likes; ``x_fsync`` succeeds immediately, so batch
+    completion order is exactly the scripted order.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.pending = []  # (batch, event), in issue order
+
+    def x_pwrite(self, batch, nbytes):
+        event = self.engine.event()
+        self.pending.append((batch, event))
+        return event
+
+    def x_fsync(self, check_transport_status=True):
+        event = self.engine.event()
+        event.succeed(0)
+        return event
+
+
+def _txn_records(txn_id, lsn_start, value_size):
+    return [
+        LogRecord(lsn_start, txn_id, RecordKind.UPDATE, "kv",
+                  f"k{txn_id}", "x" * value_size),
+        LogRecord(lsn_start + 1, txn_id, RecordKind.COMMIT),
+    ]
+
+
+def _submit(wal, value_sizes):
+    """Append one two-record txn per size; returns (commit_lsn, event)s."""
+    waiters = []
+    lsn = 1
+    for txn_id, size in enumerate(value_sizes, start=1):
+        records = _txn_records(txn_id, lsn, size)
+        lsn += 2
+        waiters.append((records[-1].lsn, wal.append_and_wait(records)))
+    return waiters
+
+
+@given(
+    value_sizes=st.lists(st.integers(0, 120), min_size=2, max_size=10),
+    order_seed=st.integers(0, 2**16),
+)
+@settings(max_examples=40)
+def test_no_ack_before_batch_predecessors_flushed(value_sizes, order_seed):
+    engine = Engine()
+    log = ScriptedLogFile(engine)
+    wal = LogManager(engine, log, group_commit_bytes=96,
+                     group_commit_timeout_ns=2_000.0,
+                     max_inflight_flushes=4)
+    waiters = _submit(wal, value_sizes)
+    rng = random.Random(order_seed)
+    completed = set()  # batch sequences the test has completed
+    commit_batch = {}  # commit lsn -> batch sequence carrying it
+
+    def check_invariant():
+        for batch, _event in log.pending:
+            for record in batch.records:
+                if record.kind is RecordKind.COMMIT:
+                    commit_batch.setdefault(record.lsn, batch.sequence)
+        for commit_lsn, event in waiters:
+            if not event.triggered:
+                continue
+            assert commit_lsn in commit_batch, (
+                f"lsn {commit_lsn} acked but never carved into a batch"
+            )
+            sequence = commit_batch[commit_lsn]
+            missing = [s for s in range(sequence + 1) if s not in completed]
+            assert not missing, (
+                f"lsn {commit_lsn} (batch {sequence}) acked while batches "
+                f"{missing} are still unflushed"
+            )
+
+    for _round in range(300):
+        # Let the dispatcher carve groups (byte threshold or timer).
+        engine.run(until=engine.now + 3_000.0)
+        check_invariant()
+        if all(event.triggered for _lsn, event in waiters):
+            break
+        ready = [pair for pair in log.pending if not pair[1].triggered]
+        if ready:
+            batch, event = ready[rng.randrange(len(ready))]
+            completed.add(batch.sequence)
+            event.succeed(batch.nbytes)
+            engine.run(until=engine.now + 1.0)
+            check_invariant()
+    assert all(event.triggered for _lsn, event in waiters), (
+        "some commits never became durable after all batches flushed"
+    )
+    assert wal.durable_lsn == waiters[-1][0]
+
+
+def test_out_of_order_completion_withholds_every_ack():
+    """Completing only a *later* batch must acknowledge nothing."""
+    engine = Engine()
+    log = ScriptedLogFile(engine)
+    wal = LogManager(engine, log, group_commit_bytes=96,
+                     group_commit_timeout_ns=2_000.0,
+                     max_inflight_flushes=4)
+    waiters = _submit(wal, [8, 8, 8])  # one txn per batch at 96 B
+    engine.run(until=engine.now + 10_000.0)
+    assert len(log.pending) >= 2, "expected at least two concurrent batches"
+
+    # Flush the LAST issued batch first: the prefix rule holds it back.
+    log.pending[-1][1].succeed(log.pending[-1][0].nbytes)
+    engine.run(until=engine.now + 5_000.0)
+    assert not any(event.triggered for _lsn, event in waiters)
+    assert wal.durable_lsn == 0
+
+    # Completing the earlier batches releases everything, in order.
+    for batch, event in log.pending:
+        if not event.triggered:
+            event.succeed(batch.nbytes)
+    engine.run(until=engine.now + 5_000.0)
+    assert all(event.triggered for _lsn, event in waiters)
+    assert wal.durable_lsn == waiters[-1][0]
+
+
+def test_crash_before_any_completion_acks_nothing():
+    """If no batch ever completes (power cut), no commit is acked."""
+    engine = Engine()
+    log = ScriptedLogFile(engine)
+    wal = LogManager(engine, log, group_commit_bytes=96,
+                     group_commit_timeout_ns=2_000.0,
+                     max_inflight_flushes=4)
+    waiters = _submit(wal, [4, 4, 4, 4])
+    engine.run(until=engine.now + 50_000.0)
+    assert not any(event.triggered for _lsn, event in waiters)
+    assert wal.durable_lsn == 0

@@ -104,3 +104,70 @@ def test_random_plan_include_kinds_restricts():
     )
     assert plan.kinds() <= {FaultKind.CMB_TORN_WRITE}
     assert len(plan) > 0
+
+
+def test_without_moves_spec_to_excluded():
+    plan = FaultPlan([
+        FaultSpec(100.0, "secondary-1", FaultKind.REPLICA_CRASH),
+        FaultSpec(200.0, "bridge-0", FaultKind.LINK_DOWN),
+        FaultSpec(300.0, "bridge-0", FaultKind.LINK_UP),
+    ])
+    smaller = plan.without(1)
+    assert len(smaller) == 2
+    assert len(smaller.excluded) == 1
+    assert smaller.excluded[0].kind is FaultKind.LINK_DOWN
+    # The original plan is untouched (without() is a pure operation).
+    assert len(plan) == 3 and plan.excluded == []
+    # Chaining accumulates exclusions.
+    tiny = smaller.without(0)
+    assert len(tiny) == 1
+    assert {spec.kind for spec in tiny.excluded} == {
+        FaultKind.REPLICA_CRASH, FaultKind.LINK_DOWN}
+
+
+def test_excluded_round_trips_through_json():
+    plan = FaultPlan(
+        [FaultSpec(100.0, "secondary-1", FaultKind.REPLICA_CRASH)],
+        excluded=[FaultSpec(50.0, "bridge-0", FaultKind.LINK_CORRUPT,
+                            {"count": 2})],
+    )
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored.as_dicts() == plan.as_dicts()
+    assert [s.as_dict() for s in restored.excluded] == [
+        s.as_dict() for s in plan.excluded]
+    # A plan with no exclusions omits the key entirely.
+    bare = FaultPlan([FaultSpec(1.0, "bridge-0", FaultKind.LINK_DOWN)])
+    assert "excluded" not in bare.to_json()
+
+
+def test_serialization_is_byte_stable_across_construction_order():
+    specs = [
+        FaultSpec(200.0, "bridge-0", FaultKind.LINK_UP),
+        FaultSpec(100.0, "secondary-2", FaultKind.SUPERCAP_FAIL),
+        FaultSpec(100.0, "secondary-1", FaultKind.SUPERCAP_FAIL),
+        FaultSpec(100.0, "secondary-1", FaultKind.CMB_TORN_WRITE),
+    ]
+    a = FaultPlan(specs)
+    b = FaultPlan(list(reversed(specs)))
+    c = FaultPlan()
+    for spec in [specs[2], specs[0], specs[3], specs[1]]:
+        c.add(spec.time_ns, spec.site, spec.kind, **spec.params)
+    assert a.to_json() == b.to_json() == c.to_json()
+    # Same-time entries are ordered by site then kind, not insertion.
+    sites_kinds = [(s.site, s.kind) for s in a if s.time_ns == 100.0]
+    assert sites_kinds == [
+        ("secondary-1", FaultKind.CMB_TORN_WRITE),
+        ("secondary-1", FaultKind.SUPERCAP_FAIL),
+        ("secondary-2", FaultKind.SUPERCAP_FAIL),
+    ]
+
+
+def test_excluded_lists_also_canonicalize():
+    excluded = [
+        FaultSpec(300.0, "bridge-1", FaultKind.LINK_CORRUPT, {"count": 1}),
+        FaultSpec(100.0, "secondary-1", FaultKind.REPLICA_CRASH),
+    ]
+    a = FaultPlan([], excluded=excluded)
+    b = FaultPlan([], excluded=list(reversed(excluded)))
+    assert a.to_json() == b.to_json()
+    assert [s.time_ns for s in a.excluded] == [100.0, 300.0]
