@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench kernel [--events 200000] [--repeat 3]
     python -m repro.bench chaos [--seed 7] [--faults plan.json]
     python -m repro.bench check [--scenario chain --budget 200 ...]
+    python -m repro.bench health [--scenario failover|overload|all] [--seed 7]
     python -m repro.bench trace [--scenario chain|fig09|chaos] [--out t.json]
 
 Every subcommand accepts ``--jobs N`` (fan the figure's independent cells
@@ -195,6 +196,78 @@ def _dump_chaos_diagnostics(result):
             print(f"  {line}", file=sys.stderr)
 
 
+def _health_oracle_rows(oracles):
+    return [
+        {
+            "oracle": name,
+            "verdict": "PASS" if not violations else "FAIL",
+            "violations": len(violations),
+            "detail": violations[0] if violations else "",
+        }
+        for name, violations in sorted(oracles.items())
+    ]
+
+
+def _health(args):
+    from repro.health.scenarios import (
+        run_failover_scenario,
+        run_overload_scenario,
+    )
+
+    which = getattr(args, "scenario", "all")
+    seed = getattr(args, "seed", 7)
+    results = []
+    if which in ("failover", "all"):
+        result = run_failover_scenario(seed=seed)
+        results.append(result)
+        print(f"failover: seed={result['seed']} victim={result['victim']} "
+              f"killed at {result['kill_at_ns'] / 1e6:.3f} ms; final chain "
+              f"{'->'.join(result['chain_order'])}")
+        for entry in result["events"]:
+            print(f"  t={entry['time_ns'] / 1e6:7.3f} ms  "
+                  f"{entry['action']:<15} {entry['site']:<12} "
+                  f"{entry['detail']}")
+        detection = result["detection_ns"]
+        loop = result["kill_to_resync_ns"]
+        print(f"  detection window: "
+              f"{'-' if detection is None else f'{detection:.0f}'} ns "
+              f"(bound {result['detect_within_ns']:.0f}); kill-to-resync: "
+              f"{'-' if loop is None else f'{loop:.0f}'} ns "
+              f"(bound {result['resync_within_ns']:.0f})")
+        print(format_table(_health_oracle_rows(result["oracles"]), (
+            ("oracle", "oracle", ""),
+            ("verdict", "verdict", ""),
+            ("violations", "violations", "d"),
+            ("detail", "detail", ""),
+        ), title="Failover convergence oracles"))
+        print()
+    if which in ("overload", "all"):
+        result = run_overload_scenario(seed=seed)
+        results.append(result)
+        print(f"overload: seed={result['seed']} writers={result['writers']} "
+              f"completed={result['writes_completed']} "
+              f"rejections={result['rejections']} "
+              f"({result['rejections_by_reason']})")
+        print(f"  backlog peaks: {result['backlog_peaks']}; chunks shed: "
+              f"{result['chunks_shed']}")
+        entered = result["brownout_entered_at_ns"]
+        exited = result["brownout_exited_at_ns"]
+        print(f"  brownout: enter at "
+              f"{'-' if entered is None else f'{entered / 1e6:.3f} ms'}, "
+              f"exit at "
+              f"{'-' if exited is None else f'{exited / 1e6:.3f} ms'}; "
+              f"final policy {result['final_policy']}")
+        print(format_table(_health_oracle_rows(result["oracles"]), (
+            ("oracle", "oracle", ""),
+            ("verdict", "verdict", ""),
+            ("violations", "violations", "d"),
+            ("detail", "detail", ""),
+        ), title="Overload protection oracles"))
+    if not all(result["ok"] for result in results):
+        raise SystemExit(1)
+    return results
+
+
 def _trace(args):
     from repro.bench.trace_cmd import run_trace
 
@@ -307,6 +380,15 @@ def build_parser():
         add_help=False,
     )
 
+    health = subparsers.add_parser(
+        "health",
+        help="self-healing control plane: supervised failover + overload")
+    health.add_argument("--scenario", choices=["failover", "overload", "all"],
+                        default="all",
+                        help="which health scenario to run (default: all)")
+    health.add_argument("--seed", type=int, default=7,
+                        help="scenario seed")
+
     trace = subparsers.add_parser(
         "trace", help="capture a full-stack trace of one scenario")
     trace.add_argument("--scenario", choices=["chain", "fig09", "chaos"],
@@ -328,7 +410,7 @@ def build_parser():
     trace.add_argument("--duration-ms", type=float, default=None,
                        help="override the scenario's time budget")
 
-    for sub in (fig09, fig10, fig11, fig12, fig13, kernel, chaos,
+    for sub in (fig09, fig10, fig11, fig12, fig13, kernel, chaos, health,
                 subparsers.choices["all"]):
         _add_common_flags(sub)
     return parser
@@ -389,7 +471,8 @@ def main(argv=None):
         if json_path:
             _write_json(json_path, "all", all_rows)
     else:
-        extras = {"kernel": _kernel, "chaos": _chaos, "trace": _trace}
+        extras = {"kernel": _kernel, "chaos": _chaos, "trace": _trace,
+                  "health": _health}
         runner = extras.get(args.figure) or FIGURES[args.figure]
         rows = _capturing(trace_path, args.figure, lambda: runner(args))
         if json_path:

@@ -36,6 +36,11 @@ def build_parser():
                              "--budget (bounded-exhaustive mode)")
     parser.add_argument("--secondaries", type=int, default=2,
                         help="chain length behind the primary (default: 2)")
+    parser.add_argument("--supervised", action="store_true",
+                        help="attach a ChainSupervisor and disable the "
+                             "injector's auto-splice: every reconfiguration "
+                             "is the control plane's (adds the "
+                             "supervised-failover schedule family)")
     parser.add_argument("--transactions", type=int, default=24,
                         help="workload transactions (default: 24)")
     parser.add_argument("--out-dir", default="reproducers",
@@ -66,7 +71,8 @@ def main(argv=None):
 
     config = CheckConfig(scenario=args.scenario, seed=args.seed,
                          secondaries=args.secondaries,
-                         transactions=args.transactions)
+                         transactions=args.transactions,
+                         supervised=args.supervised)
     report = run_check(config, budget=args.budget,
                        exhaustive=args.exhaustive, out_dir=args.out_dir,
                        log=emit)

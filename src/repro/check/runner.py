@@ -56,13 +56,15 @@ class CheckConfig:
                  transactions=24, duration_ns=2_500_000.0, key_space=6,
                  writers=3, group_commit_bytes=384,
                  group_commit_timeout_ns=5_000.0, grace_ns=400_000.0,
-                 heal_delay_ns=300_000.0):
+                 heal_delay_ns=300_000.0, supervised=False):
         if scenario not in self.SCENARIOS:
             raise ValueError(
                 f"scenario must be one of {self.SCENARIOS}, got {scenario!r}"
             )
         if scenario == "chain" and secondaries < 1:
             raise ValueError("a chain scenario needs at least one secondary")
+        if supervised and scenario != "chain":
+            raise ValueError("supervised checking needs the chain scenario")
         self.scenario = scenario
         self.seed = seed
         self.secondaries = secondaries if scenario == "chain" else 0
@@ -74,6 +76,10 @@ class CheckConfig:
         self.group_commit_timeout_ns = group_commit_timeout_ns
         self.grace_ns = grace_ns
         self.heal_delay_ns = heal_delay_ns
+        # With a supervisor attached, the injector's own auto-splice is
+        # disabled: every reconfiguration in a supervised schedule is the
+        # control plane's doing, so the model checks *its* recovery.
+        self.supervised = supervised
 
     def as_dict(self):
         return {
@@ -88,6 +94,7 @@ class CheckConfig:
             "group_commit_timeout_ns": self.group_commit_timeout_ns,
             "grace_ns": self.grace_ns,
             "heal_delay_ns": self.heal_delay_ns,
+            "supervised": self.supervised,
         }
 
     @classmethod
@@ -99,13 +106,14 @@ class _Scenario:
     """One built instance: engine, cluster, model, witnesses, workload."""
 
     def __init__(self, engine, cluster, database, model, recorders,
-                 workload_procs):
+                 workload_procs, supervisor=None):
         self.engine = engine
         self.cluster = cluster
         self.database = database
         self.model = model
         self.recorders = recorders
         self.workload_procs = workload_procs
+        self.supervisor = supervisor
 
 
 def _build(config):
@@ -123,6 +131,12 @@ def _build(config):
         name: StreamRecorder(server.device, name=name)
         for name, server in cluster.servers.items()
     }
+    supervisor = None
+    if config.supervised:
+        from repro.health.supervisor import ChainSupervisor
+
+        supervisor = ChainSupervisor(engine, cluster)
+        supervisor.start()
     database = cluster.primary.with_database(
         group_commit_bytes=config.group_commit_bytes,
         group_commit_timeout_ns=config.group_commit_timeout_ns,
@@ -155,7 +169,7 @@ def _build(config):
         rng = derive(config.seed, f"check-writer-{index}")
         workload_procs.append(writer_proc(writer, prefix, per_writer, rng))
     return _Scenario(engine, cluster, database, model, recorders,
-                     workload_procs)
+                     workload_procs, supervisor=supervisor)
 
 
 class Outcome:
@@ -217,12 +231,18 @@ def _execute(config, schedule):
         injector = None
         if len(schedule.plan):
             injector = ChaosInjector(engine, cluster, schedule.plan,
-                                     grace_ns=config.grace_ns)
+                                     grace_ns=config.grace_ns,
+                                     auto_reconfigure=not config.supervised)
             injector.start()
         for index, proc in enumerate(scenario.workload_procs):
             engine.process(proc, name=f"check-writer-{index}")
         engine.run(until=max(schedule.end_time_ns, engine.now + 1.0))
 
+        if scenario.supervisor is not None:
+            # Freeze the control plane before the terminal crash: the
+            # supervisor must not react to the power loss we are about
+            # to inject for the autopsy.
+            scenario.supervisor.stop()
         violations["visible-counter"] = check_visible_counter_bound(cluster)
         dirty_sites = {
             spec.site for spec in schedule.plan
@@ -283,6 +303,11 @@ def _execute(config, schedule):
             "durable_offset": report.durable_offset,
             "reserve_energy_ok": report.reserve_energy_ok,
         })
+        if scenario.supervisor is not None:
+            stats["supervisor_events"] = [
+                f"{entry['action']}@{entry['site']}"
+                for entry in scenario.supervisor.events
+            ]
     except Exception as error:  # noqa: BLE001 — a harness crash IS a finding
         violations.setdefault("harness", []).append(
             f"harness: schedule execution raised {error!r}"

@@ -137,6 +137,24 @@ def enumerate_schedules(config, candidates):
                 )
                 for time_ns, label in heavy
             ])
+        if getattr(config, "supervised", False):
+            # Supervised failover: kill a replica with NO rejoin in the
+            # plan and NO injector auto-splice — detection, eviction,
+            # reattach and resync are all the supervisor's.  The end
+            # time is pushed past the full heal window so the terminal
+            # crash lands on a *reconfigured* chain, and the usual
+            # prefix/chain oracles judge the state it left behind.
+            heal_window = 1_500_000.0
+            for name in secondaries:
+                families.append([
+                    CrashSchedule(
+                        "supervised-failover", label, name,
+                        max(duration, time_ns + heal_window),
+                        FaultPlan([FaultSpec(time_ns, name,
+                                             FaultKind.REPLICA_CRASH)]),
+                    )
+                    for time_ns, label in heavy
+                ])
         for index in range(len(secondaries)):
             bridge = f"bridge-{index}"
             families.append([

@@ -106,6 +106,42 @@ class Cluster:
         self.resync(successor.name)
         return bridge
 
+    def reattach(self, name):
+        """Re-admit a rebooted, spliced-out server at the tail of the chain.
+
+        The complement of :meth:`reconfigure_around`: a server that was
+        evicted (removed from ``order``) and has since rebooted is cabled
+        to the current tail over a fresh NTB hop, given the secondary
+        role under the tail, and resynced from the tail's history.  Any
+        mirror flows the server remembers from its old chain position are
+        dropped first — the tail of the chain mirrors to nobody, and a
+        stale flow toward a server that is now *upstream* would echo the
+        stream back into the chain.  Returns the bytes offered by the
+        resync.
+        """
+        from repro.pcie.ntb import NtbBridge, NtbPort
+
+        server = self.servers[name]
+        if name in self.order:
+            raise ValueError(f"{name!r} is still part of the chain")
+        if server.device.halted:
+            raise RuntimeError(f"{name!r} is down; rejoin it before "
+                               f"reattaching")
+        transport = server.device.transport
+        for peer in list(transport._flows):
+            transport.remove_peer(peer)
+        tail = self.servers[self.order[-1]]
+        new_port = NtbPort(self.engine, f"{tail.name}.right@{name}")
+        tail.device.transport.attach_extra_port(new_port)
+        bridge = NtbBridge(self.engine, new_port, server.ntb_port)
+        self.bridges.append(bridge)
+        tail.right_port = new_port
+        if name not in tail.device.transport._flows:
+            tail.device.transport.add_peer(name, port=new_port)
+        transport.set_secondary(tail.name)
+        self.order.append(name)
+        return self.resync(name)
+
     def set_replication_policy(self, policy_name):
         """Switch the primary's counter-combination policy at runtime."""
         policy_by_name(policy_name)  # validate early

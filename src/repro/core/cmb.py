@@ -26,13 +26,27 @@ from repro.sim.stats import Counter
 class CmbModule:
     """The byte-addressable fast side of one X-SSD device."""
 
-    def __init__(self, engine, backing, queue_bytes, name="cmb"):
+    def __init__(self, engine, backing, queue_bytes, name="cmb",
+                 intake_bound_bytes=None):
         if queue_bytes <= 0:
             raise ValueError("intake queue size must be positive")
+        if intake_bound_bytes is not None and intake_bound_bytes <= 0:
+            raise ValueError("intake bound must be positive when set")
         self.engine = engine
         self.backing = backing
         self.queue_bytes = queue_bytes
         self.name = name
+        # Overload protection: ``queue_bytes`` caps SRAM *occupancy*, but
+        # chunks waiting for queue space pile up without limit.  The
+        # intake bound caps that whole accepted-but-unpersisted backlog;
+        # a chunk arriving past the bound is shed (posted MMIO writes
+        # cannot be nacked) and its range stays missing until re-shipped,
+        # exactly like a dropped TLP.  None = unbounded (the default).
+        self.intake_bound_bytes = intake_bound_bytes
+        self.intake_backlog_bytes = 0
+        self.intake_backlog_peak = 0
+        self.chunks_shed = 0
+        self.bytes_shed = 0
         self.ring = SequencedRing(capacity=backing.capacity)
         self.credit = Counter(engine, name=f"{name}.credit")
         # Intake queue: chunk FIFO plus a byte-space accountant.
@@ -121,6 +135,22 @@ class CmbModule:
             if tracer.enabled:
                 tracer.instant(self.name, "torn-write", flow=offset,
                                nbytes=nbytes)
+        if (self.intake_bound_bytes is not None
+                and self.intake_backlog_bytes + nbytes
+                > self.intake_bound_bytes):
+            # Shed before any accounting or taps: a shed chunk was never
+            # received, so it is neither mirrored nor recorded — its
+            # stream range is simply missing, like a drop on the wire.
+            self.chunks_shed += 1
+            self.bytes_shed += nbytes
+            if tracer.enabled:
+                tracer.instant(self.name, "intake-shed", flow=offset,
+                               nbytes=nbytes,
+                               backlog=self.intake_backlog_bytes)
+            return self.engine.timeout(0.0)
+        self.intake_backlog_bytes += nbytes
+        self.intake_backlog_peak = max(self.intake_backlog_peak,
+                                       self.intake_backlog_bytes)
         self.bytes_received += nbytes
         self.chunks_received += 1
         if tracer.enabled:
@@ -196,6 +226,7 @@ class CmbModule:
         if not self._persisting:
             return  # a crash already salvaged the pipeline
         offset, nbytes, payload = self._persisting.pop(0)
+        self.intake_backlog_bytes = max(0, self.intake_backlog_bytes - nbytes)
         self._queue_space.put(nbytes)
         tracer = self.engine.tracer
         token = self._trace_tokens.pop(offset, None)
@@ -256,6 +287,7 @@ class CmbModule:
             except RingOverflowError:
                 self.chunks_discarded += 1
         self._intake._items.clear()
+        self.intake_backlog_bytes = 0
         if advanced:
             self.credit.advance(advanced)
         return advanced

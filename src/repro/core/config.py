@@ -30,6 +30,15 @@ class VillarsConfig:
     destage_latency_threshold_ns: float = 50_000.0
     destage_ring_blocks: int = 4096
     transport_update_period_ns: float = 400.0  # Fig. 13's best frequency
+    # Seed for the transport's randomized retry backoff; scenario builders
+    # thread their master seed through here so chaos runs replay byte-
+    # for-byte (the jitter streams derive from this value per peer).
+    transport_seed: int = 0
+    # Hard cap on bytes accepted-but-not-yet-persisted at the CMB intake.
+    # None (the default) preserves the unbounded-intake behavior; a bound
+    # makes the intake shed excess chunks instead of queueing without
+    # limit (see repro/health — overload protection).
+    cmb_intake_bound_bytes: int | None = None
 
     def __post_init__(self):
         if self.backing_kind not in ("sram", "dram"):
@@ -38,6 +47,9 @@ class VillarsConfig:
             raise ValueError("queue size must be positive")
         if self.cmb_capacity < self.cmb_queue_bytes:
             raise ValueError("CMB capacity must hold at least the queue")
+        if (self.cmb_intake_bound_bytes is not None
+                and self.cmb_intake_bound_bytes < self.cmb_queue_bytes):
+            raise ValueError("intake bound cannot be below the queue size")
 
 
 def villars_sram(**overrides):

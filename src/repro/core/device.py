@@ -49,6 +49,7 @@ class XssdDevice:
         self.cmb = CmbModule(
             engine, self.backing, queue_bytes=cfg.cmb_queue_bytes,
             name=f"{name}.cmb",
+            intake_bound_bytes=cfg.cmb_intake_bound_bytes,
         )
         self.cmb_region = MmioRegion(
             engine, self.conventional.link, size=cfg.cmb_capacity,
@@ -73,6 +74,7 @@ class XssdDevice:
         self.transport = TransportModule(
             engine, self.cmb, name=name,
             update_period_ns=cfg.transport_update_period_ns,
+            seed=cfg.transport_seed,
         )
 
         self._register_admin_handlers()

@@ -27,6 +27,8 @@ def device_snapshot(device):
             "credit": cmb.credit.value,
             "in_flight_bytes": cmb.in_flight_bytes,
             "queue_free_bytes": cmb.queue_free_bytes,
+            "intake_backlog_bytes": cmb.intake_backlog_bytes,
+            "intake_backlog_peak": cmb.intake_backlog_peak,
             "ring": {
                 "capacity": ring.capacity,
                 "frontier": ring.frontier,
@@ -63,6 +65,7 @@ def device_snapshot(device):
                 "reads": conventional.ftl.reads_served,
                 "program_failures": conventional.ftl.program_failures,
                 "read_retries": conventional.ftl.read_retries,
+                "read_retirements": conventional.ftl.read_retirements,
                 "mapped_lbas": len(conventional.ftl.table),
                 "free_blocks": conventional.ftl.allocator.free_blocks(),
                 "bad_blocks": len(conventional.ftl.allocator.bad_blocks),
@@ -92,6 +95,8 @@ def device_snapshot(device):
         "faults": {
             "torn_writes": cmb.torn_writes,
             "chunks_discarded": cmb.chunks_discarded,
+            "chunks_shed": cmb.chunks_shed,
+            "bytes_shed": cmb.bytes_shed,
             "corrupt_dropped": transport.corrupt_dropped,
             "sends_retried": transport.sends_retried,
             "chunks_abandoned": len(transport.chunks_abandoned),

@@ -26,13 +26,17 @@ from repro.sim.stats import Counter
 class WriterLane:
     """One writer thread's view of the fast side."""
 
-    __slots__ = ("cmb", "lane_id", "credit", "issued_bytes", "_chunk_ends")
+    __slots__ = ("cmb", "lane_id", "credit", "issued_bytes", "_chunk_ends",
+                 "throttle_waits")
 
     def __init__(self, cmb, lane_id, engine):
         self.cmb = cmb
         self.lane_id = lane_id
         self.credit = Counter(engine, name=f"lane{lane_id}.credit")
         self.issued_bytes = 0
+        # Times this lane had to wait at the fair-share gate before it
+        # could claim a stream range (only with ``fair_share_bytes`` set).
+        self.throttle_waits = 0
         # Stream end-offsets of this lane's chunks, in issue order; the
         # lane's credit covers a chunk once the global frontier passes it.
         self._chunk_ends = []
@@ -69,12 +73,19 @@ class MultiWriterCmb:
         yield multi.fsync(lane_a)          # waits on lane_a's bytes ONLY
     """
 
-    def __init__(self, device, max_writers=8):
+    def __init__(self, device, max_writers=8, fair_share_bytes=None):
         if max_writers < 1:
             raise ValueError("need at least one writer slot")
+        if fair_share_bytes is not None and fair_share_bytes <= 0:
+            raise ValueError("fair share must be positive when set")
         self.device = device
         self.engine = device.engine
         self.max_writers = max_writers
+        # Per-writer throttling (opt-in): a lane may not hold more than
+        # this many unacknowledged bytes, so a greedy writer waits at the
+        # gate instead of monopolizing the shared flow-control budget.
+        # None preserves the classic unthrottled lanes.
+        self.fair_share_bytes = fair_share_bytes
         self.lanes = []
         device.cmb.watch_credit(self._on_global_credit)
 
@@ -102,6 +113,14 @@ class MultiWriterCmb:
             raise ValueError("lane does not belong to this device")
         if nbytes <= 0:
             raise ValueError("writes need at least one byte")
+        if self.fair_share_bytes is not None:
+            return self.engine.process(
+                self._throttled_write(lane, nbytes, payload),
+                name=f"lane{lane.lane_id}-write",
+            )
+        return self._issue(lane, nbytes, payload)
+
+    def _issue(self, lane, nbytes, payload):
         offset = self.device.claim_stream_range(nbytes)
         lane.note_issue(offset + nbytes, nbytes)
         done = self.device.fast_write(offset, nbytes, payload)
@@ -112,6 +131,27 @@ class MultiWriterCmb:
 
         done.then(_fence)
         return fence_done
+
+    def _throttled_write(self, lane, nbytes, payload):
+        """Wait at the fair-share gate, then issue like a plain write.
+
+        The gate holds the lane *before* it claims a stream range, so a
+        throttled writer never leaves gaps — it just yields the shared
+        budget to the other lanes until its own bytes are acknowledged.
+        """
+        waited = False
+        # A lane with nothing outstanding always gets one write through,
+        # even one bigger than its share — otherwise it could never move.
+        while (lane.unacknowledged_bytes
+               and lane.unacknowledged_bytes + nbytes
+               > self.fair_share_bytes):
+            if not waited:
+                waited = True
+                lane.throttle_waits += 1
+            # Each poll pays the control round trip, same as an fsync.
+            yield self.device.read_credit_raw()
+            lane.absorb_frontier(self.device.cmb.ring.frontier)
+        yield self._issue(lane, nbytes, payload)
 
     def fsync(self, lane):
         """Block until every byte this lane issued is persistent."""

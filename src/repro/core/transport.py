@@ -23,6 +23,7 @@ import enum
 
 from repro.core.replication import EagerReplication
 from repro.pcie.tlp import Tlp, TlpType
+from repro.sim.rng import derive
 from repro.sim.stats import Counter
 
 # Wire size of one credit-counter update: an 8-byte counter value in a
@@ -55,18 +56,23 @@ class MirrorFlow:
     Sends observed as dropped at the link layer are retried with bounded
     exponential backoff (the PCIe data-link layer's replay, writ large):
     ``retry_limit`` extra attempts spaced ``retry_backoff_ns * 2**n``
-    apart.  A chunk that exhausts its retries is *abandoned* — recorded
-    so reconfiguration-time resync can re-ship the range — because an
-    unbounded replay against a dead cable would wedge the flow forever.
+    apart, each scaled by seeded jitter in [0.5, 1.5) so concurrent
+    flows do not replay in lockstep.  The jitter stream comes from
+    ``rng`` (derived from the device's ``transport_seed``), which keeps
+    chaos runs byte-deterministic.  A chunk that exhausts its retries is
+    *abandoned* — recorded so reconfiguration-time resync can re-ship
+    the range — because an unbounded replay against a dead cable would
+    wedge the flow forever.
     """
 
     def __init__(self, engine, peer_name, ntb_port, retry_limit=4,
-                 retry_backoff_ns=5_000.0, name=None):
+                 retry_backoff_ns=5_000.0, rng=None, name=None):
         self.engine = engine
         self.peer_name = peer_name
         self.ntb_port = ntb_port
         self.retry_limit = retry_limit
         self.retry_backoff_ns = retry_backoff_ns
+        self._rng = rng
         self.name = name or f"mirror->{peer_name}"
         self._backlog = []
         self._kick = engine.event()
@@ -127,9 +133,10 @@ class MirrorFlow:
                 if token is not None:
                     tracer.instant(self.name, "send-retried", flow=offset,
                                    attempt=attempt)
-                yield self.engine.timeout(
-                    self.retry_backoff_ns * (2 ** attempt)
-                )
+                backoff = self.retry_backoff_ns * (2 ** attempt)
+                if self._rng is not None:
+                    backoff *= 0.5 + self._rng.random()
+                yield self.engine.timeout(backoff)
                 attempt += 1
 
 
@@ -137,16 +144,23 @@ class TransportModule:
     """Role-aware replication engine of one X-SSD device."""
 
     def __init__(self, engine, cmb, name="transport",
-                 update_period_ns=400.0, policy=None):
+                 update_period_ns=400.0, policy=None, seed=0):
         self.engine = engine
         self.cmb = cmb
         self.name = name
         self.role = TransportRole.STANDALONE
         self.update_period_ns = update_period_ns
         self.policy = policy or EagerReplication()
+        # Root of every randomized decision this transport makes (today:
+        # mirror-retry backoff jitter).  Scenario builders thread their
+        # master seed through the device config so runs replay exactly.
+        self.seed = seed
         self.ntb_port = None
         self._flows = {}  # peer name -> MirrorFlow
         self.shadow_counters = {}  # peer name -> Counter
+        # When each peer's last counter update arrived, by peer name —
+        # heartbeat evidence for the failure detectors (repro.health).
+        self.update_arrival_ns = {}
         self._primary_port = None  # secondary: where counter updates go
         self._primary_name = None
         self._shadow_watchers = []
@@ -209,6 +223,12 @@ class TransportModule:
             raise RuntimeError("attach an NTB port before becoming secondary")
         self.role = TransportRole.SECONDARY
         self._primary_name = primary_name
+        # Retain intake history even before any downstream flow exists: a
+        # chain tail promoted to upstream at reattach time must be able to
+        # re-ship the range a rejoining peer missed.
+        if not self._tap_installed:
+            self.cmb.tap_intake(self._on_local_write)
+            self._tap_installed = True
         if not self._reporter_running:
             self._reporter_running = True
             self.engine.process(self._report_loop(),
@@ -265,6 +285,7 @@ class TransportModule:
             self.cmb.tap_intake(self._on_local_write)
             self._tap_installed = True
         flow = MirrorFlow(self.engine, peer_name, port or self.ntb_port,
+                          rng=derive(self.seed, "mirror-backoff", peer_name),
                           name=f"{self.name}->{peer_name}")
         self._flows[peer_name] = flow
         self.shadow_counters[peer_name] = Counter(
@@ -287,6 +308,7 @@ class TransportModule:
         if not flow._kick.triggered:
             flow._kick.succeed()
         self.shadow_counters.pop(peer_name, None)
+        self.update_arrival_ns.pop(peer_name, None)
         return flow
 
     def resync_peer(self, peer_name, from_offset=0, skip_offsets=()):
@@ -342,6 +364,7 @@ class TransportModule:
                 self.engine, peer_name, flow.ntb_port,
                 retry_limit=flow.retry_limit,
                 retry_backoff_ns=flow.retry_backoff_ns,
+                rng=flow._rng,  # continue the flow's jitter stream
                 name=flow.name,
             )
             fresh.bytes_shipped = flow.bytes_shipped
@@ -402,6 +425,7 @@ class TransportModule:
             peer = tlp.metadata["peer"]
             value = tlp.metadata["value"]
             self.counter_updates_received += 1
+            self.update_arrival_ns[peer] = self.engine.now
             shadow = self.shadow_counters.get(peer)
             if shadow is not None:
                 shadow.set_at_least(value)

@@ -20,11 +20,17 @@ from repro.faults.plan import FaultKind
 class ChaosInjector:
     """Applies a :class:`~repro.faults.plan.FaultPlan` to a cluster."""
 
-    def __init__(self, engine, cluster, plan, grace_ns=1_500_000.0):
+    def __init__(self, engine, cluster, plan, grace_ns=1_500_000.0,
+                 auto_reconfigure=True):
         self.engine = engine
         self.cluster = cluster
         self.plan = plan
         self.grace_ns = grace_ns
+        # When a ChainSupervisor owns recovery, the injector must not
+        # splice dead replicas out itself — set this False so the only
+        # healing hand is the supervisor's (the self-healing scenarios
+        # assert exactly that).
+        self.auto_reconfigure = auto_reconfigure
         self.fault_log = []
         self.crash_reports = {}  # site -> CrashReport
         self._process = None
@@ -129,9 +135,9 @@ class ChaosInjector:
                 return "skipped: already down"
             report = server.crash()
             self.crash_reports[spec.site] = report
-            if not self.plan.later_specs(self.engine.now,
-                                         kind=FaultKind.REPLICA_REJOIN,
-                                         site=spec.site):
+            if self.auto_reconfigure and not self.plan.later_specs(
+                    self.engine.now, kind=FaultKind.REPLICA_REJOIN,
+                    site=spec.site):
                 self.engine.process(
                     self._reconfigure_later(spec.site),
                     name=f"reconfigure-{spec.site}",

@@ -243,6 +243,81 @@ def check_ftl_integrity(device):
     return violations
 
 
+def check_failover_convergence(events, site, killed_at_ns,
+                               detect_within_ns, resync_within_ns):
+    """A killed replica is detected, evicted and resynced — on time.
+
+    ``events`` is a supervisor's chronological event list.  The killed
+    ``site`` must progress through ``dead-detected`` -> ``evict`` ->
+    ``rejoin`` (which implies the reattach + resync succeeded), with the
+    detection landing inside ``detect_within_ns`` of the kill and the
+    whole loop inside ``resync_within_ns``.  Detection *before* the kill
+    would be a false positive and fails too.
+    """
+    violations = []
+
+    def times(action):
+        return [e["time_ns"] for e in events
+                if e["site"] == site and e["action"] == action]
+
+    detected = times("dead-detected")
+    if not detected:
+        violations.append(
+            f"failover: {site} killed at {killed_at_ns:.0f}ns was never "
+            f"detected dead"
+        )
+        return violations
+    t_detect = detected[0]
+    if t_detect < killed_at_ns:
+        violations.append(
+            f"failover: {site} declared dead at {t_detect:.0f}ns, before "
+            f"the kill at {killed_at_ns:.0f}ns (false positive)"
+        )
+    elif t_detect - killed_at_ns > detect_within_ns:
+        violations.append(
+            f"failover: detection took {t_detect - killed_at_ns:.0f}ns, "
+            f"over the {detect_within_ns:.0f}ns bound"
+        )
+    evicted = times("evict")
+    if not evicted:
+        violations.append(f"failover: {site} detected dead but never "
+                          f"evicted from the chain")
+    elif evicted[0] < t_detect:
+        violations.append(
+            f"failover: {site} evicted at {evicted[0]:.0f}ns before "
+            f"detection at {t_detect:.0f}ns"
+        )
+    rejoined = times("rejoin")
+    if not rejoined:
+        violations.append(f"failover: {site} was never reattached and "
+                          f"resynced after its eviction")
+    elif rejoined[0] - killed_at_ns > resync_within_ns:
+        violations.append(
+            f"failover: kill-to-resync took "
+            f"{rejoined[0] - killed_at_ns:.0f}ns, over the "
+            f"{resync_within_ns:.0f}ns bound"
+        )
+    return violations
+
+
+def check_bounded_backlog(samples, bound, name="device"):
+    """The CMB intake backlog never exceeded its configured bound.
+
+    ``samples`` are ``(time_ns, backlog_bytes)`` pairs taken on a fixed
+    cadence during the run.  With shedding active the bound is a hard
+    invariant; ``bound`` of None means the device was unbounded and any
+    sample is accepted (vacuously true, reported as such).
+    """
+    if bound is None:
+        return []
+    return [
+        f"bounded-backlog: {name} intake backlog {depth} bytes at "
+        f"{time_ns:.0f}ns exceeds the {bound}-byte bound"
+        for time_ns, depth in samples
+        if depth > bound
+    ]
+
+
 def check_visible_counter_bound(cluster):
     """The policy counter never overpromises durability.
 

@@ -97,6 +97,11 @@ class BlockAllocator:
     def mark_bad(self, channel, way, block):
         """Retire a block permanently (grown bad block)."""
         self._bad.add((channel, way, block))
+        # Purge it from the free pool eagerly (a lazily-skipped bad block
+        # would inflate free_blocks() and trip the integrity oracle).
+        free = self._free[(channel, way)]
+        if block in free:
+            free.remove(block)
         cursor = self._cursors.get((channel, way))
         if cursor is not None and cursor.block == block:
             del self._cursors[(channel, way)]

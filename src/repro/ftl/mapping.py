@@ -11,6 +11,23 @@ from repro.nand.errors import UncorrectableError
 from repro.nand.geometry import PhysicalPageAddress
 
 
+class ReadRetired(UncorrectableError):
+    """Read retries exhausted; the FTL retired the failing block.
+
+    Raised instead of the raw :class:`UncorrectableError` so callers see
+    a *typed result* of the firmware's retry-then-retire flow (Section
+    7.1): the data at ``lba`` is lost, the block at ``address`` no longer
+    accepts placements, and the exception subclasses
+    :class:`UncorrectableError` so existing handlers keep working.
+    """
+
+    def __init__(self, message, lba=None, address=None, attempts=0):
+        super().__init__(message)
+        self.lba = lba
+        self.address = address
+        self.attempts = attempts
+
+
 class MappingTable:
     """LBA -> physical page map plus reverse map and per-block live counts."""
 
@@ -97,6 +114,7 @@ class PageMappingFtl:
         self.reads_served = 0
         self.program_failures = 0
         self.read_retries = 0
+        self.read_retirements = 0
         self._space_low_callbacks = []
 
     def on_space_low(self, callback):
@@ -156,9 +174,30 @@ class PageMappingFtl:
                 page = yield self.channels[address.channel].read(
                     address.way, address.block, address.page
                 )
-            except UncorrectableError:
+            except UncorrectableError as error:
                 if attempt >= self.read_retry_limit:
-                    raise
+                    # Retries exhausted: retire the block (it stops taking
+                    # new placements; pages already mapped there stay, as
+                    # with a program failure) and surface a typed error
+                    # instead of the raw ECC exception.
+                    self.read_retirements += 1
+                    self.allocator.mark_bad(
+                        address.channel, address.way, address.block
+                    )
+                    tracer = self.engine.tracer
+                    if tracer.enabled:
+                        tracer.instant(self.name, "read-retired", lba=lba,
+                                       channel=address.channel,
+                                       way=address.way,
+                                       block=address.block,
+                                       attempts=attempt + 1)
+                    raise ReadRetired(
+                        f"lba {lba} unreadable after {attempt + 1} "
+                        f"attempts; retired block "
+                        f"({address.channel}, {address.way}, "
+                        f"{address.block})",
+                        lba=lba, address=address, attempts=attempt + 1,
+                    ) from error
                 attempt += 1
                 self.read_retries += 1
                 tracer = self.engine.tracer

@@ -1,0 +1,47 @@
+"""Self-healing control plane: detection, failover, overload protection.
+
+The paper's Section 7.1 describes *mechanisms* — reconfiguration admin
+commands, resync from retained history, status registers — and leaves
+the *policy* loop that drives them to the database.  This package is
+that loop:
+
+* :mod:`repro.health.errors` — the typed overload errors
+  (:class:`~repro.health.errors.DeviceBusy`,
+  :class:`~repro.health.errors.CreditStarvation`);
+* :mod:`repro.health.detector` — heartbeat failure detectors with
+  graded suspicion (ALIVE / SUSPECT / DEAD) fed by probe timeouts and
+  link-staleness evidence;
+* :mod:`repro.health.admission` — admission control in front of the
+  host API: bounded outstanding bytes, per-writer fair share, explicit
+  rejection before any stream range is claimed;
+* :mod:`repro.health.supervisor` — :class:`ChainSupervisor`, the
+  closed loop from detection to recovery (evict / reattach / resync /
+  brownout with hysteresis);
+* :mod:`repro.health.scenarios` — end-to-end self-healing runs consumed
+  by ``python -m repro.bench health`` and the convergence oracles.
+
+Import note: this module is imported by the host and core layers (for
+the typed errors), so it must stay free of imports back into them —
+``scenarios`` is deliberately *not* imported eagerly.
+"""
+
+from repro.health.admission import AdmissionController
+from repro.health.detector import (
+    HeartbeatDetector,
+    SuspicionLevel,
+    link_stalled,
+)
+from repro.health.errors import CreditStarvation, DeviceBusy, HealthError
+from repro.health.supervisor import BrownoutState, ChainSupervisor
+
+__all__ = [
+    "AdmissionController",
+    "BrownoutState",
+    "ChainSupervisor",
+    "CreditStarvation",
+    "DeviceBusy",
+    "HealthError",
+    "HeartbeatDetector",
+    "SuspicionLevel",
+    "link_stalled",
+]

@@ -1,0 +1,92 @@
+"""Failure detectors: suspicion levels from heartbeats and staleness.
+
+Two independent evidence streams feed one verdict per server:
+
+* **probe heartbeats** — the supervisor periodically issues the vendor
+  status admin command (``XSSD_QUERY_STATUS``) to every chain member.  A
+  live device answers within microseconds; a powered-off device never
+  completes the command, so a missed deadline is a missed heartbeat.
+  Consecutive misses escalate ALIVE -> SUSPECT -> DEAD.
+* **link staleness** — the same shadow-counter lag the transport's
+  staleness monitor watches (Section 7.1): a peer whose shadow counter
+  lags its upstream's credit while no counter update has arrived for a
+  while is SUSPECT even when its probes still answer (the replication
+  path, not the device, is sick).  Link evidence alone never reaches
+  DEAD: a stalled link is healed by resync, not eviction.
+
+The split matters in a chain: every hop upstream of a dead replica looks
+stalled (acknowledgements relay leftward), so shadow lag cannot localize
+the failure — the probe heartbeat can.
+"""
+
+import enum
+
+
+class SuspicionLevel(enum.IntEnum):
+    ALIVE = 0
+    SUSPECT = 1
+    DEAD = 2
+
+
+class HeartbeatDetector:
+    """Suspicion state of one server, fed by the supervisor's probes."""
+
+    def __init__(self, site, suspect_misses=1, dead_misses=3):
+        if not 0 < suspect_misses <= dead_misses:
+            raise ValueError("need 0 < suspect_misses <= dead_misses")
+        self.site = site
+        self.suspect_misses = suspect_misses
+        self.dead_misses = dead_misses
+        self.consecutive_misses = 0
+        self.probes_sent = 0
+        self.probes_missed = 0
+        self.link_stalled = False
+        self.last_level = SuspicionLevel.ALIVE
+
+    def record_probe(self, answered):
+        """Account one heartbeat round; returns the new suspicion level."""
+        self.probes_sent += 1
+        if answered:
+            self.consecutive_misses = 0
+        else:
+            self.consecutive_misses += 1
+            self.probes_missed += 1
+        return self.level()
+
+    def note_link(self, stalled):
+        """Record the replication-link staleness verdict for this server."""
+        self.link_stalled = bool(stalled)
+
+    def reset(self):
+        """Forget all suspicion (a rejoined replica starts clean)."""
+        self.consecutive_misses = 0
+        self.link_stalled = False
+        self.last_level = SuspicionLevel.ALIVE
+
+    def level(self):
+        if self.consecutive_misses >= self.dead_misses:
+            return SuspicionLevel.DEAD
+        if self.consecutive_misses >= self.suspect_misses or self.link_stalled:
+            return SuspicionLevel.SUSPECT
+        return SuspicionLevel.ALIVE
+
+
+def link_stalled(upstream_device, peer_name, now, quiet_after_ns):
+    """Is the mirror link ``upstream -> peer_name`` stalled?
+
+    Stalled means the upstream holds bytes the peer has not acknowledged
+    (shadow lag) while neither the shadow counter advanced nor a counter
+    update arrived for ``quiet_after_ns`` — i.e. the staleness monitor's
+    evidence, evaluated for one link from the management plane.  The
+    evidence is self-clearing: a successful resync advances the shadow,
+    which resets the quiet clock.
+    """
+    transport = upstream_device.transport
+    shadow = transport.shadow_counters.get(peer_name)
+    if shadow is None:
+        return False
+    if shadow.value >= upstream_device.cmb.credit.value:
+        return False
+    heard = max(shadow.last_advanced_at,
+                transport.update_arrival_ns.get(peer_name, 0.0))
+    return (now - heard) > quiet_after_ns

@@ -1,0 +1,45 @@
+"""Typed errors of the overload-protection path.
+
+The flow-control protocol of Fig. 8 is advisory: nothing in the base
+device stops a host from claiming stream ranges faster than the destage
+path can retire them, and nothing turns a credit counter that will never
+move into an error.  These exceptions make both conditions explicit so
+callers can shed load or escalate instead of queueing (or spinning)
+without bound.
+"""
+
+
+class HealthError(Exception):
+    """Base class for health/overload-protection errors."""
+
+
+class DeviceBusy(HealthError):
+    """The device (or a writer's fair share of it) is saturated.
+
+    Raised by admission control *before* any stream bytes are claimed, so
+    a rejected write leaves no gap behind: the caller backs off and
+    retries, exactly like an NVMe controller returning a busy status.
+    """
+
+    def __init__(self, message, writer_id=None, reason="saturated",
+                 retry_after_ns=None):
+        super().__init__(message)
+        self.writer_id = writer_id
+        self.reason = reason
+        self.retry_after_ns = retry_after_ns
+
+
+class CreditStarvation(HealthError):
+    """A credit-counter wait exceeded its deadline.
+
+    Raised instead of letting ``x_pwrite``/``x_fsync`` poll a counter
+    forever; carries enough context for the caller to decide between
+    retrying, reconfiguring the transport, or failing the transaction.
+    """
+
+    def __init__(self, message, stalled_for_ns=None, credit=None,
+                 target=None):
+        super().__init__(message)
+        self.stalled_for_ns = stalled_for_ns
+        self.credit = credit
+        self.target = target

@@ -17,6 +17,7 @@ All methods return simulation events (they are "blocking" from the
 calling process's perspective: ``yield`` them).
 """
 
+from repro.health.errors import CreditStarvation
 from repro.sim.units import KIB
 
 # How many bytes one iteration of the copy loop moves at most.  Matching
@@ -41,12 +42,25 @@ class XssdLogFile:
     than ``queue_bytes`` outstanding beyond the last observed credit.
     """
 
-    def __init__(self, device, copy_chunk=DEFAULT_COPY_CHUNK):
+    def __init__(self, device, copy_chunk=DEFAULT_COPY_CHUNK,
+                 admission=None, writer_id=None,
+                 starvation_deadline_ns=None):
         if copy_chunk <= 0:
             raise ValueError("copy chunk must be positive")
+        if starvation_deadline_ns is not None and starvation_deadline_ns <= 0:
+            raise ValueError("starvation deadline must be positive")
         self.device = device
         self.engine = device.engine
         self.copy_chunk = copy_chunk
+        # Overload protection (optional): an AdmissionController consulted
+        # before any stream bytes are claimed, and a bound on how long a
+        # call may sit credit-starved before failing with a typed error
+        # instead of hanging.  None keeps the classic advisory protocol.
+        self.admission = admission
+        self.writer_id = writer_id if writer_id is not None else id(self)
+        self.starvation_deadline_ns = starvation_deadline_ns
+        if admission is not None:
+            admission.register_writer(self.writer_id)
         self.written = 0  # bytes issued through THIS handle
         self.high_water = 0  # highest stream offset this handle covered
         self.last_credit = 0  # last counter value read from the device
@@ -66,11 +80,23 @@ class XssdLogFile:
         """
         if nbytes <= 0:
             raise ValueError("x_pwrite needs a positive size")
+        if self.admission is not None:
+            # Synchronous: a rejection raises DeviceBusy before any stream
+            # range is claimed, so a rejected write leaves no gap.
+            self.admission.admit(self.writer_id, nbytes)
         return self.engine.process(
             self._pwrite_proc(payload, nbytes), name="x_pwrite"
         )
 
     def _pwrite_proc(self, payload, nbytes):
+        try:
+            result = yield from self._pwrite_inner(payload, nbytes)
+        finally:
+            if self.admission is not None:
+                self.admission.release(self.writer_id, nbytes)
+        return result
+
+    def _pwrite_inner(self, payload, nbytes):
         queue_bytes = self.device.config.cmb_queue_bytes
         remaining = nbytes
         cursor = 0
@@ -82,6 +108,7 @@ class XssdLogFile:
             # CMB intake spans for the same bytes.
             token = tracer.begin(f"host:{self.device.name}", "x_pwrite",
                                  nbytes=nbytes)
+        stalled_since = None
         while remaining > 0:
             # The flow-control budget is device-global: the queue absorbs
             # bytes from every writer sharing the stream.
@@ -93,9 +120,25 @@ class XssdLogFile:
                 if token is not None:
                     tracer.instant(f"host:{self.device.name}",
                                    "credit-stall", outstanding=outstanding)
+                if stalled_since is None:
+                    stalled_since = self.engine.now
+                elif (self.starvation_deadline_ns is not None
+                      and self.engine.now - stalled_since
+                      > self.starvation_deadline_ns):
+                    if token is not None:
+                        tracer.end(token, starved=True)
+                    raise CreditStarvation(
+                        f"x_pwrite starved for "
+                        f"{self.engine.now - stalled_since:.0f} ns at "
+                        f"credit {self.last_credit}",
+                        stalled_for_ns=self.engine.now - stalled_since,
+                        credit=self.last_credit,
+                        target=self.device.stream_claimed,
+                    )
                 self.last_credit = yield self.device.read_credit()
                 self.credit_checks += 1
                 continue
+            stalled_since = None
             # Spend the whole budget without intermediate checks.
             burst = min(budget, remaining)
             while burst > 0:
@@ -120,7 +163,7 @@ class XssdLogFile:
 
     # -- x_fsync ----------------------------------------------------------------------
 
-    def x_fsync(self, check_transport_status=True):
+    def x_fsync(self, check_transport_status=True, deadline_ns=None):
         """Block until everything written so far is persisted (Fig. 8 bottom).
 
         Under a replication policy the counter the device returns already
@@ -129,13 +172,22 @@ class XssdLogFile:
         that stops moving triggers a read of the transport's status
         register; a ``"stale"`` status raises :class:`ReplicationStalled`
         instead of spinning forever (the Section 7.1 error path).
+
+        ``deadline_ns`` (defaulting to the handle's starvation deadline)
+        bounds the whole wait: a counter that has not covered the target
+        by then raises :class:`~repro.health.errors.CreditStarvation` —
+        a typed error the caller can retry, never a silent hang.
         """
+        if deadline_ns is None:
+            deadline_ns = self.starvation_deadline_ns
         return self.engine.process(
-            self._fsync_proc(check_transport_status), name="x_fsync"
+            self._fsync_proc(check_transport_status, deadline_ns),
+            name="x_fsync",
         )
 
-    def _fsync_proc(self, check_transport_status):
+    def _fsync_proc(self, check_transport_status, deadline_ns):
         target = self.high_water
+        started = self.engine.now
         stagnant_reads = 0
         tracer = self.engine.tracer
         token = None
@@ -145,6 +197,16 @@ class XssdLogFile:
             token = tracer.begin(f"host:{self.device.name}", "x_fsync",
                                  flow=target, target=target)
         while self.last_credit < target:
+            if (deadline_ns is not None
+                    and self.engine.now - started > deadline_ns):
+                if token is not None:
+                    tracer.end(token, starved=True)
+                raise CreditStarvation(
+                    f"x_fsync starved for {self.engine.now - started:.0f} "
+                    f"ns; credit {self.last_credit} of {target}",
+                    stalled_for_ns=self.engine.now - started,
+                    credit=self.last_credit, target=target,
+                )
             previous = self.last_credit
             self.last_credit = yield self.device.read_credit()
             self.credit_checks += 1

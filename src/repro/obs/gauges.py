@@ -22,6 +22,8 @@ GAUGE_PATHS = (
     (("fast_side", "queue_free_bytes"), "queue_free_bytes"),
     (("fast_side", "in_flight_bytes"), "in_flight_bytes"),
     (("fast_side", "ring", "used_bytes"), "ring_used_bytes"),
+    (("fast_side", "intake_backlog_bytes"), "intake_backlog_bytes"),
+    (("faults", "chunks_shed"), "chunks_shed"),
     (("destage", "outstanding_pages"), "destage_outstanding"),
     (("destage", "pages_written"), "destage_pages_written"),
     (("transport", "visible_credit"), "visible_credit"),

@@ -44,6 +44,12 @@ class HostInterfaceController:
     def _pump(self):
         while self._running:
             command = yield self.submission_queue.fetch()
+            if not self._running:
+                # The controller lost power while this pump was parked on
+                # the fetch: the command vanishes into the dead device and
+                # its completion never posts (which is what lets probe
+                # timeouts detect the loss).
+                return
             self.commands_fetched += 1
             # Fetch the SQE itself over the link (read round trip).
             yield self.link.read_roundtrip(SQE_BYTES)

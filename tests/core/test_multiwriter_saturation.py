@@ -1,0 +1,95 @@
+"""Saturation and fairness tests for the per-writer credit lanes."""
+
+from repro.core.multiwriter import MultiWriterCmb
+
+from tests.conftest import make_xssd_device
+
+
+def test_greedy_lane_waits_at_the_fair_share_gate():
+    engine, device = make_xssd_device()
+    multi = MultiWriterCmb(device, fair_share_bytes=2048)
+    greedy = multi.register_writer()
+    polite = multi.register_writer()
+
+    def hog():
+        for index in range(12):
+            yield multi.write(greedy, 1024, f"g{index}")
+
+    def peck():
+        for index in range(4):
+            yield multi.write(polite, 256, f"p{index}")
+            yield engine.timeout(50_000.0)
+
+    engine.process(hog())
+    engine.process(peck())
+    engine.run(until=200_000_000.0)
+    total = 12 * 1024 + 4 * 256
+    assert device.cmb.credit.value == total
+    assert not device.cmb.ring.has_gap
+    # The hog hit the gate; the polite writer never did.
+    assert greedy.throttle_waits > 0
+    assert polite.throttle_waits == 0
+    assert greedy.unacknowledged_bytes == 0
+    assert polite.unacknowledged_bytes == 0
+
+
+def test_idle_lane_always_admits_one_write():
+    engine, device = make_xssd_device()
+    multi = MultiWriterCmb(device, fair_share_bytes=512)
+    lane = multi.register_writer()
+    finished = []
+
+    def proc():
+        # Larger than the share: an idle lane must still get it through,
+        # or a single big write could never complete.
+        yield multi.write(lane, 4096, "big")
+        finished.append(True)
+
+    engine.process(proc())
+    engine.run(until=100_000_000.0)
+    assert finished == [True]
+    assert lane.credit.value == 4096
+
+
+def test_many_lanes_saturate_without_gaps_or_lost_bytes():
+    engine, device = make_xssd_device()
+    multi = MultiWriterCmb(device, max_writers=6, fair_share_bytes=4096)
+    sizes = [256, 512, 768, 1024, 1280, 1536]
+    lanes = [multi.register_writer() for _ in sizes]
+
+    def worker(lane, nbytes):
+        for index in range(20):
+            yield multi.write(lane, nbytes, f"l{lane.lane_id}.{index}")
+
+    for lane, nbytes in zip(lanes, sizes):
+        engine.process(worker(lane, nbytes))
+    engine.run(until=500_000_000.0)
+
+    assert device.cmb.credit.value == 20 * sum(sizes)
+    assert not device.cmb.ring.has_gap
+    for lane, nbytes in zip(lanes, sizes):
+        assert lane.credit.value == 20 * nbytes
+        assert lane.unacknowledged_bytes == 0
+
+
+def test_default_lanes_stay_unthrottled():
+    engine, device = make_xssd_device()
+    multi = MultiWriterCmb(device)
+    lane = multi.register_writer()
+
+    def proc():
+        for index in range(10):
+            yield multi.write(lane, 1024, f"c{index}")
+
+    engine.process(proc())
+    engine.run(until=100_000_000.0)
+    assert lane.credit.value == 10 * 1024
+    assert lane.throttle_waits == 0
+
+
+def test_fair_share_validation():
+    import pytest
+
+    _engine, device = make_xssd_device()
+    with pytest.raises(ValueError):
+        MultiWriterCmb(device, fair_share_bytes=0)

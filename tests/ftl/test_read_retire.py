@@ -1,0 +1,95 @@
+"""The retry-then-retire flow for uncorrectable reads (typed result)."""
+
+import pytest
+
+from repro.ftl.mapping import PageMappingFtl, ReadRetired
+from repro.nand.channel import Channel
+from repro.nand.ecc import EccFaultModel, UncorrectableError
+from repro.nand.geometry import Geometry
+from repro.nand.timing import NandTiming
+from repro.sim import Engine
+
+
+def make_ftl_with_ecc():
+    engine = Engine()
+    geometry = Geometry(channels=2, ways_per_channel=2, blocks_per_die=4,
+                        pages_per_block=4, page_bytes=4096)
+    timing = NandTiming(t_program=1000.0, t_read=100.0, t_erase=5000.0,
+                        bus_bandwidth=4.0)
+    ecc = EccFaultModel()
+    channels = [
+        Channel(engine, geometry, timing, channel_id=i, fault_model=ecc)
+        for i in range(geometry.channels)
+    ]
+    ftl = PageMappingFtl(engine, channels, geometry)
+    return engine, ftl, ecc
+
+
+def test_transient_errors_are_retried_and_recovered():
+    engine, ftl, ecc = make_ftl_with_ecc()
+    results = []
+
+    def proc():
+        address = yield ftl.write(7, "payload")
+        # Two soft errors: retries (limit 3) absorb them.
+        ecc.force_next_errors(2)
+        payload = yield ftl.read(7)
+        results.append((address, payload))
+
+    engine.process(proc())
+    engine.run()
+    assert results and results[0][1] == "payload"
+    assert ftl.read_retries == 2
+    assert ftl.read_retirements == 0
+
+
+def test_hard_fault_retires_block_with_typed_error():
+    engine, ftl, ecc = make_ftl_with_ecc()
+    caught = []
+
+    def proc():
+        address = yield ftl.write(7, "payload")
+        # A hard fault persists across every retry.
+        ecc.force_error_at(address.channel, address.way, address.block,
+                           address.page)
+        try:
+            yield ftl.read(7)
+        except ReadRetired as error:
+            caught.append((address, error))
+
+    engine.process(proc())
+    engine.run()
+    assert len(caught) == 1
+    address, error = caught[0]
+    # The typed result carries the retry count and the retired location.
+    assert isinstance(error, UncorrectableError)
+    assert error.lba == 7
+    assert error.address == address
+    assert error.attempts == ftl.read_retry_limit + 1
+    assert ftl.read_retirements == 1
+    # The block is retired: marked bad and out of the placement pool.
+    key = (address.channel, address.way, address.block)
+    assert key in ftl.allocator.bad_blocks
+    assert key not in ftl.allocator._free[(address.channel, address.way)]
+
+
+def test_retired_block_takes_no_new_placements():
+    engine, ftl, ecc = make_ftl_with_ecc()
+    placements = []
+
+    def proc():
+        address = yield ftl.write(1, "doomed")
+        ecc.force_error_at(address.channel, address.way, address.block,
+                           address.page)
+        with pytest.raises(ReadRetired):
+            yield ftl.read(1)
+        bad = (address.channel, address.way, address.block)
+        for index in range(8):
+            fresh = yield ftl.write(100 + index, f"v{index}")
+            placements.append((fresh.channel, fresh.way, fresh.block, bad))
+
+    engine.process(proc())
+    engine.run()
+    assert placements
+    for channel, way, block, bad in placements:
+        assert (channel, way, block) != bad

@@ -1,0 +1,162 @@
+"""Admission control and the typed overload errors at the host boundary."""
+
+import pytest
+
+from repro.cluster.topology import replicated_pair
+from repro.health import AdmissionController, CreditStarvation, DeviceBusy
+from repro.host.api import XssdLogFile
+from repro.sim import Engine
+
+from tests.conftest import cluster_config_factory, make_xssd_device
+
+
+class TestAdmissionController:
+    def test_admits_under_ceiling(self):
+        _engine, device = make_xssd_device()
+        admission = AdmissionController(device, max_outstanding_bytes=4096)
+        assert admission.admit("w0", 1024) == 1024
+        assert admission.admitted_bytes == 1024
+        assert admission.rejections == 0
+
+    def test_rejects_when_saturated(self):
+        _engine, device = make_xssd_device()
+        admission = AdmissionController(device, max_outstanding_bytes=4096)
+        # Claim stream bytes directly: outstanding = claimed - credit.
+        device.claim_stream_range(4096)
+        with pytest.raises(DeviceBusy) as info:
+            admission.admit("w0", 1)
+        assert info.value.reason == "device-saturated"
+        assert info.value.writer_id == "w0"
+        assert info.value.retry_after_ns > 0
+        assert admission.rejections == 1
+        assert admission.rejections_by_reason == {"device-saturated": 1}
+
+    def test_fair_share_throttles_the_greedy_writer_only(self):
+        _engine, device = make_xssd_device()
+        admission = AdmissionController(device, max_outstanding_bytes=8192)
+        admission.register_writer("a")
+        admission.register_writer("b")
+        admission.admit("a", 4000)  # share is 8192 // 2 = 4096
+        with pytest.raises(DeviceBusy) as info:
+            admission.admit("a", 200)
+        assert info.value.reason == "fair-throttle"
+        # The other writer is unaffected by a's greed.
+        admission.admit("b", 4000)
+        # Releasing frees the slot.
+        admission.release("a", 4000)
+        admission.admit("a", 200)
+
+    def test_single_writer_is_never_fair_throttled(self):
+        _engine, device = make_xssd_device()
+        admission = AdmissionController(device, max_outstanding_bytes=8192)
+        admission.admit("only", 5000)
+        admission.admit("only", 3000)  # over any share, under the ceiling
+
+    def test_pressure_folds_in_intake_backlog(self):
+        _engine, device = make_xssd_device(
+            cmb_intake_bound_bytes=16 * 1024)
+        admission = AdmissionController(device, max_outstanding_bytes=4096)
+        assert admission.pressure() == 0.0
+        device.cmb.intake_backlog_bytes = 8 * 1024
+        assert admission.pressure() == pytest.approx(0.5)
+
+    def test_rejects_non_positive_sizes(self):
+        _engine, device = make_xssd_device()
+        admission = AdmissionController(device)
+        with pytest.raises(ValueError):
+            admission.admit("w", 0)
+        with pytest.raises(ValueError):
+            AdmissionController(device, max_outstanding_bytes=0)
+
+
+class TestAdmittedPwrite:
+    def test_rejected_pwrite_claims_no_stream_bytes(self):
+        _engine, device = make_xssd_device()
+        admission = AdmissionController(device, max_outstanding_bytes=2048)
+        log = XssdLogFile(device, admission=admission, writer_id="w")
+        device.claim_stream_range(2048)
+        claimed_before = device.stream_claimed
+        with pytest.raises(DeviceBusy):
+            log.x_pwrite("x", 512)
+        # The rejection happened before any range was claimed: no gap.
+        assert device.stream_claimed == claimed_before
+        assert log.written == 0
+
+    def test_completed_pwrite_releases_its_admission_slot(self):
+        engine, device = make_xssd_device()
+        admission = AdmissionController(device, max_outstanding_bytes=8192)
+        log_a = XssdLogFile(device, admission=admission, writer_id="a")
+        XssdLogFile(device, admission=admission, writer_id="b")
+
+        def proc():
+            yield log_a.x_pwrite("x", 4000)
+
+        engine.process(proc())
+        engine.run(until=engine.now + 10_000_000.0)
+        # The call finished and released: a full-share admit succeeds again
+        # even with two registered writers.
+        admission.admit("a", 4000)
+
+
+class TestCreditStarvation:
+    """A severed eager pair: the visible counter cannot advance."""
+
+    def _stuck_pair(self):
+        engine = Engine()
+        cluster = replicated_pair(engine, cluster_config_factory,
+                                  policy="eager")
+        cluster.bridges[0].sever()
+        return engine, cluster
+
+    def test_fsync_deadline_raises_typed_error(self):
+        engine, cluster = self._stuck_pair()
+        log = XssdLogFile(cluster.primary.device,
+                          starvation_deadline_ns=300_000.0)
+        caught = []
+
+        def proc():
+            yield log.x_pwrite("x", 1024)
+            try:
+                yield log.x_fsync(check_transport_status=False)
+            except CreditStarvation as error:
+                caught.append(error)
+
+        engine.process(proc())
+        engine.run(until=engine.now + 20_000_000.0)
+        assert len(caught) == 1
+        assert caught[0].stalled_for_ns > 300_000.0
+        assert caught[0].target == log.high_water
+
+    def test_pwrite_budget_stall_raises_typed_error(self):
+        engine, cluster = self._stuck_pair()
+        device = cluster.primary.device
+        log = XssdLogFile(device, starvation_deadline_ns=300_000.0)
+        caught = []
+
+        def proc():
+            # More than the flow-control window: with the visible counter
+            # pinned at zero the budget runs dry and never refills.
+            try:
+                yield log.x_pwrite("x", device.config.cmb_queue_bytes + 512)
+            except CreditStarvation as error:
+                caught.append(error)
+
+        engine.process(proc())
+        engine.run(until=engine.now + 20_000_000.0)
+        assert len(caught) == 1
+        assert caught[0].credit == 0
+
+    def test_no_deadline_means_classic_spinning(self):
+        engine, cluster = self._stuck_pair()
+        log = XssdLogFile(cluster.primary.device)
+        outcome = []
+
+        def proc():
+            yield log.x_pwrite("x", 1024)
+            yield log.x_fsync(check_transport_status=False)
+            outcome.append("done")
+
+        engine.process(proc())
+        engine.run(until=engine.now + 5_000_000.0)
+        # Still spinning on the counter, no exception: opt-in semantics.
+        assert outcome == []

@@ -1,0 +1,102 @@
+"""Unit tests for the suspicion-level failure detector."""
+
+import pytest
+
+from repro.cluster.topology import replicated_pair
+from repro.health import HeartbeatDetector, SuspicionLevel, link_stalled
+from repro.host.api import XssdLogFile
+from repro.sim import Engine
+
+from tests.conftest import cluster_config_factory
+
+
+class TestHeartbeatDetector:
+    def test_starts_alive(self):
+        detector = HeartbeatDetector("s")
+        assert detector.level() is SuspicionLevel.ALIVE
+        assert detector.consecutive_misses == 0
+
+    def test_escalates_suspect_then_dead(self):
+        detector = HeartbeatDetector("s", suspect_misses=1, dead_misses=3)
+        assert detector.record_probe(False) is SuspicionLevel.SUSPECT
+        assert detector.record_probe(False) is SuspicionLevel.SUSPECT
+        assert detector.record_probe(False) is SuspicionLevel.DEAD
+        assert detector.probes_missed == 3
+
+    def test_answered_probe_resets_misses(self):
+        detector = HeartbeatDetector("s", suspect_misses=1, dead_misses=3)
+        detector.record_probe(False)
+        detector.record_probe(False)
+        assert detector.record_probe(True) is SuspicionLevel.ALIVE
+        assert detector.consecutive_misses == 0
+        # The slate is clean: escalation starts over.
+        assert detector.record_probe(False) is SuspicionLevel.SUSPECT
+
+    def test_link_evidence_is_suspect_only(self):
+        detector = HeartbeatDetector("s", suspect_misses=2, dead_misses=3)
+        detector.note_link(stalled=True)
+        assert detector.level() is SuspicionLevel.SUSPECT
+        # No number of link rounds escalates to DEAD without probe misses.
+        for _ in range(10):
+            detector.note_link(stalled=True)
+        assert detector.level() is SuspicionLevel.SUSPECT
+        detector.note_link(stalled=False)
+        assert detector.level() is SuspicionLevel.ALIVE
+
+    def test_reset_forgets_everything(self):
+        detector = HeartbeatDetector("s")
+        detector.record_probe(False)
+        detector.note_link(stalled=True)
+        detector.last_level = SuspicionLevel.DEAD
+        detector.reset()
+        assert detector.level() is SuspicionLevel.ALIVE
+        assert detector.last_level is SuspicionLevel.ALIVE
+
+    def test_validates_thresholds(self):
+        with pytest.raises(ValueError):
+            HeartbeatDetector("s", suspect_misses=0)
+        with pytest.raises(ValueError):
+            HeartbeatDetector("s", suspect_misses=4, dead_misses=3)
+
+
+class TestLinkStalled:
+    def _pair(self):
+        engine = Engine()
+        cluster = replicated_pair(engine, cluster_config_factory)
+        return engine, cluster
+
+    def test_unknown_peer_is_not_stalled(self):
+        engine, cluster = self._pair()
+        assert not link_stalled(cluster.primary.device, "nobody",
+                                engine.now, 100_000.0)
+
+    def test_healthy_link_is_not_stalled(self):
+        engine, cluster = self._pair()
+        log = XssdLogFile(cluster.primary.device)
+
+        def proc():
+            yield log.x_pwrite("x", 1024)
+
+        engine.process(proc())
+        engine.run(until=engine.now + 5_000_000.0)
+        # The ack relayed back: the shadow caught up, so nothing is quiet.
+        assert not link_stalled(cluster.primary.device, "secondary",
+                                engine.now, 100_000.0)
+
+    def test_severed_link_goes_stale_after_quiet_period(self):
+        engine, cluster = self._pair()
+        log = XssdLogFile(cluster.primary.device)
+        cluster.bridges[0].sever()
+
+        def proc():
+            yield log.x_pwrite("x", 1024)
+
+        engine.process(proc())
+        engine.run(until=engine.now + 2_000_000.0)
+        primary = cluster.primary.device
+        # Shadow lags local credit and no update has arrived: stalled once
+        # the quiet period elapses, not before.
+        assert primary.cmb.credit.value > 0
+        assert link_stalled(primary, "secondary", engine.now, 100_000.0)
+        assert not link_stalled(primary, "secondary", engine.now,
+                                quiet_after_ns=1e12)

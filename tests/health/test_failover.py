@@ -1,0 +1,59 @@
+"""End-to-end failover: the supervisor heals the chain by itself."""
+
+import json
+
+from repro.faults.injector import ChaosInjector
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.health.scenarios import build_supervised_chain, \
+    run_failover_scenario
+from repro.sim import Engine
+
+
+def test_failover_converges_within_bounds():
+    result = run_failover_scenario(seed=0)
+    assert result["ok"], result["oracles"]
+    assert result["detection_ns"] <= result["detect_within_ns"]
+    assert result["kill_to_resync_ns"] <= result["resync_within_ns"]
+    assert result["commits_acknowledged"] == 24
+    actions = [entry["action"] for entry in result["events"]]
+    for expected in ("suspicion", "dead-detected", "evict", "rejoin"):
+        assert expected in actions, f"missing {expected} in {actions}"
+    # The victim rejoined at the tail of the reconfigured chain.
+    assert result["chain_order"][-1] == result["victim"]
+    assert result["probes_timed_out"] >= 3
+
+
+def test_failover_run_is_byte_deterministic():
+    first = run_failover_scenario(seed=3)
+    second = run_failover_scenario(seed=3)
+    assert (json.dumps(first, sort_keys=True)
+            == json.dumps(second, sort_keys=True))
+
+
+def test_eviction_without_auto_reboot_leaves_short_chain():
+    engine = Engine()
+    cluster, supervisor, _recorders = build_supervised_chain(
+        engine, seed=0, auto_reboot=False,
+    )
+    plan = FaultPlan().add(400_000.0, "secondary-1",
+                           FaultKind.REPLICA_CRASH)
+    injector = ChaosInjector(engine, cluster, plan, auto_reconfigure=False)
+    injector.start()
+    engine.run(until=4_000_000.0)
+    supervisor.stop()
+    assert cluster.order == ["primary", "secondary-2"]
+    assert supervisor.events_for("secondary-1", "evict")
+    assert not supervisor.events_for("secondary-1", "rejoin")
+
+
+def test_healthy_chain_generates_no_recovery_events():
+    engine = Engine()
+    cluster, supervisor, _recorders = build_supervised_chain(engine, seed=0)
+    engine.run(until=3_000_000.0)
+    supervisor.stop()
+    recovery = [entry for entry in supervisor.events
+                if entry["action"] in ("dead-detected", "evict", "rejoin")]
+    assert recovery == []
+    assert supervisor.probes_answered > 0
+    assert supervisor.probes_timed_out == 0
+    assert cluster.order == ["primary", "secondary-1", "secondary-2"]

@@ -1,0 +1,29 @@
+"""End-to-end overload: shed typed errors, brown out, recover."""
+
+import json
+
+from repro.health.scenarios import run_overload_scenario
+
+
+def test_overload_sheds_browns_out_and_recovers():
+    result = run_overload_scenario(seed=0)
+    assert result["ok"], result["oracles"]
+    # Overload surfaced as typed rejections, not silent queueing.
+    assert result["rejections"] > 0
+    assert result["rejections_by_reason"].get("device-saturated", 0) > 0
+    # The brownout cycled: entered under pressure, exited after the load.
+    assert result["brownout_entered_at_ns"] is not None
+    assert result["brownout_exited_at_ns"] > result["brownout_entered_at_ns"]
+    assert result["final_policy"] == "eager"
+    # The CMB intake stayed inside its configured bound throughout.
+    for name, peak in result["backlog_peaks"].items():
+        assert peak <= 16 * 1024, f"{name} backlog peaked at {peak}"
+    # Forward progress was made despite the shedding.
+    assert result["writes_completed"] > 0
+
+
+def test_overload_run_is_byte_deterministic():
+    first = run_overload_scenario(seed=5)
+    second = run_overload_scenario(seed=5)
+    assert (json.dumps(first, sort_keys=True)
+            == json.dumps(second, sort_keys=True))
