@@ -36,21 +36,41 @@ def test_kernel_event_churn_faster_than_seed(run_once):
     assert row["speedup_vs_seed"] >= 1.2
 
 
-def test_kernel_timeout_heavy_no_regression(run_once):
-    """Heap-bound workload: the fast path must not tax future timeouts.
+def test_kernel_timeout_heavy_beats_seed(run_once):
+    """Timer-bound workload: the timing wheel must beat the global heap.
 
-    Allow a modest noise band — both kernels do identical heap work here.
+    The wheel's measured plateau on this workload is ~1.5x (timer
+    construction dominates and is identical on both kernels); assert a
+    floor with headroom for shared-box noise rather than the plateau
+    itself.
     """
     rows = run_once(run_kernel_bench, events=BENCH_EVENTS,
                     workloads=("timeout-heavy",))
     (row,) = rows
-    assert row["speedup_vs_seed"] >= 0.85
+    assert row["speedup_vs_seed"] >= 1.2
+
+
+def test_kernel_timeout_cancel_heavy_beats_seed(run_once):
+    """The schedule-then-cancel idiom: wheel reclaim vs seed heap garbage."""
+    rows = run_once(run_kernel_bench, events=BENCH_EVENTS,
+                    workloads=("timeout-cancel-heavy",))
+    (row,) = rows
+    assert row["speedup_vs_seed"] >= 1.3
+
+
+def test_kernel_fleet_scale_speedup(run_once):
+    """Aligned heartbeat cohorts: shared-instant batching must dominate."""
+    rows = run_once(run_kernel_bench, events=BENCH_EVENTS,
+                    workloads=("fleet-scale",))
+    (row,) = rows
+    assert row["speedup_vs_seed"] >= 2.0
 
 
 def test_kernel_full_sweep_reports_all_workloads(run_once):
     rows = run_once(run_kernel_bench, events=20_000, repeat=1)
     assert [row["workload"] for row in rows] == [
         "same-instant", "event-churn", "timeout-heavy",
+        "timeout-cancel-heavy", "fleet-scale",
     ]
     for row in rows:
         assert row["events"] >= 20_000

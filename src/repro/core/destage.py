@@ -59,6 +59,11 @@ class DestageModule:
         # lets the conventional side absorb the fast side's stream).
         self.max_outstanding_pages = max_outstanding_pages
         self.name = name
+        # Pre-resolved tracing guard (the tracer is fixed per engine):
+        # issue/completion run once per destaged page and should pay no
+        # attribute chains when tracing is off.
+        self._tracer = engine.tracer
+        self._tracing = engine.tracer.enabled
         # Ring-of-LBAs state: sequence numbers count destaged pages forever;
         # the LBA is sequence % ring size.  head = oldest retained page.
         self.tail_sequence = 0  # next sequence to allocate
@@ -167,8 +172,8 @@ class DestageModule:
         lba = self.lba_ring_start + sequence % self.lba_ring_blocks
         self._outstanding += 1
         self._inflight_pages[sequence] = page
-        tracer = self.engine.tracer
-        if tracer.enabled:
+        tracer = self._tracer
+        if self._tracing:
             # One span per destaged page, issue -> program completion; the
             # flow id is the page's stream offset, tying it back to the
             # CMB intake spans of the chunks it bundles.
@@ -199,8 +204,8 @@ class DestageModule:
         """Apply completions in sequence order (prefix rule)."""
         self._outstanding -= 1
         self._inflight_pages.pop(sequence, None)
-        tracer = self.engine.tracer
-        if tracer.enabled:
+        tracer = self._tracer
+        if self._tracing:
             token = self._trace_tokens.pop(sequence, None)
             if token is not None:
                 tracer.end(token)
@@ -215,7 +220,7 @@ class DestageModule:
             # Durable prefix (space was already released at issue time).
             self.destaged_offset = applied.end_offset
             advanced = True
-        if advanced and tracer.enabled:
+        if advanced and self._tracing:
             # The *publication* point: out-of-order completions only
             # become durable here, so this instant — not the program-done
             # span end — is the destage-ack transition checkers care

@@ -87,6 +87,11 @@ class MirrorFlow:
             self._kick.succeed()
 
     def pump(self):
+        # The tracer is fixed for the engine's lifetime; resolving it (and
+        # its enabled flag) once keeps the per-chunk loop free of
+        # attribute-chain lookups.
+        tracer = self.engine.tracer
+        tracing = tracer.enabled
         while self.running:
             if not self._backlog:
                 if self._kick.triggered:
@@ -95,9 +100,8 @@ class MirrorFlow:
                 yield self._kick
                 continue
             offset, nbytes, payload = self._backlog.pop(0)
-            tracer = self.engine.tracer
             token = None
-            if tracer.enabled:
+            if tracing:
                 # One span per mirrored chunk: repackage -> delivered (or
                 # abandoned).  Flow id = stream offset, linking the span
                 # to the primary's intake and the peer's intake.
@@ -148,6 +152,11 @@ class TransportModule:
         self.engine = engine
         self.cmb = cmb
         self.name = name
+        # Pre-resolved tracing guard: the tracer never changes after the
+        # engine is built, so the receive path pays zero attribute chains
+        # per packet when tracing is off.
+        self._tracer = engine.tracer
+        self._tracing = engine.tracer.enabled
         self.role = TransportRole.STANDALONE
         self.update_period_ns = update_period_ns
         self.policy = policy or EagerReplication()
@@ -401,21 +410,20 @@ class TransportModule:
     # -- packet receive (both roles) ----------------------------------------------------
 
     def _on_ntb_packet(self, tlp):
-        tracer = self.engine.tracer
         if not self.receiving:
             self.dropped_while_down += 1
-            if tracer.enabled:
-                tracer.instant(self.name, "dropped-while-down",
-                               address=tlp.address)
+            if self._tracing:
+                self._tracer.instant(self.name, "dropped-while-down",
+                                     address=tlp.address)
             return
         if tlp.metadata.get("corrupted"):
             # Failed end-to-end check: the packet never reaches the CMB.
             # Its stream range stays missing until re-shipped, exactly
             # like a drop — but the wire bandwidth was spent.
             self.corrupt_dropped += 1
-            if tracer.enabled:
-                tracer.instant(self.name, "corrupt-dropped",
-                               address=tlp.address)
+            if self._tracing:
+                self._tracer.instant(self.name, "corrupt-dropped",
+                                     address=tlp.address)
             return
         kind = tlp.metadata.get("kind")
         if kind == "mirror":
@@ -429,9 +437,9 @@ class TransportModule:
             shadow = self.shadow_counters.get(peer)
             if shadow is not None:
                 shadow.set_at_least(value)
-                if tracer.enabled:
-                    tracer.counter(self.name, f"shadow:{peer}",
-                                   shadow.value)
+                if self._tracing:
+                    self._tracer.counter(self.name, f"shadow:{peer}",
+                                         shadow.value)
                 for watcher in self._shadow_watchers:
                     watcher(peer, shadow.value)
         # Unknown kinds are ignored (forward compatibility).
@@ -439,19 +447,23 @@ class TransportModule:
     # -- secondary reporting loop ---------------------------------------------------------
 
     def _report_loop(self):
+        engine = self.engine
         last_sent = self._report_value()  # nothing to say until it moves
         while self._reporter_running:
-            yield self.engine.timeout(self.update_period_ns)
+            # Shared-instant wakeup: secondaries configured with the same
+            # update period tick on the same instants, so a fleet of
+            # reporters shares one wheel entry per period instead of one
+            # entry each.
+            yield engine.at(engine.now + self.update_period_ns)
             value = self._report_value()
             if value == last_sent:
                 continue
             last_sent = value
             self.counter_updates_sent += 1
-            tracer = self.engine.tracer
-            if tracer.enabled:
-                tracer.instant(self.name, "counter-update-sent",
-                               value=value)
-            yield self.engine.timeout(COUNTER_UPDATE_COST_NS)
+            if self._tracing:
+                self._tracer.instant(self.name, "counter-update-sent",
+                                     value=value)
+            yield engine.timeout(COUNTER_UPDATE_COST_NS)
             update = Tlp(
                 TlpType.MEMORY_WRITE,
                 address=0,

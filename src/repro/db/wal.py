@@ -70,6 +70,10 @@ class LogManager:
             raise ValueError("need at least one flush slot")
         self.engine = engine
         self.log_file = log_file
+        # Pre-resolved tracing guard: one flush span per group commit,
+        # zero attribute chains when tracing is off.
+        self._tracer = engine.tracer
+        self._tracing = engine.tracer.enabled
         self.group_commit_bytes = group_commit_bytes
         self.group_commit_timeout_ns = group_commit_timeout_ns
         self.max_inflight_flushes = max_inflight_flushes
@@ -192,9 +196,9 @@ class LogManager:
         return taken, self._pending[index:]
 
     def _flush(self, batch):
-        tracer = self.engine.tracer
+        tracer = self._tracer
         token = None
-        if tracer.enabled:
+        if self._tracing:
             token = tracer.begin("wal", "flush", sequence=batch.sequence,
                                  nbytes=batch.nbytes,
                                  records=len(batch.records))

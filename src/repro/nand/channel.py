@@ -35,6 +35,11 @@ class Channel:
         self.bus = BandwidthPipe(
             engine, timing.bus_bandwidth, name=f"ch{channel_id}.bus"
         )
+        # Tracing hooks resolved once: ``engine.tracer`` is fixed for the
+        # engine's lifetime, so the per-operation attribute chain (engine
+        # -> tracer -> enabled) is wasted work on the data path.
+        self._tracer = engine.tracer
+        self._tracing = engine.tracer.enabled
 
     def die(self, way):
         return self.dies[way]
@@ -68,9 +73,9 @@ class Channel:
 
     def _program_proc(self, way, block, page, payload, nbytes):
         die = self.dies[way]
-        tracer = self.engine.tracer
+        tracer = self._tracer
         token = None
-        if tracer.enabled:
+        if self._tracing:
             # The flow id follows the destaged page's stream offset when
             # the payload carries one (DestagePage does); conventional
             # payloads trace without a flow arrow.
@@ -83,7 +88,11 @@ class Channel:
             # Data phase first (bus), then the cell program (die-internal).
             yield self.bus.transfer(nbytes)
             die.program_page(block, page, payload, nbytes)
-            yield self.engine.timeout(self.timing.t_program)
+            # Cell time via the shared-instant event: programs on other
+            # dies finishing at the same tick ride the same wheel entry
+            # and complete in one callback sweep.
+            engine = self.engine
+            yield engine.at(engine.now + self.timing.t_program)
         finally:
             die.busy.release()
             if token is not None:
@@ -92,15 +101,16 @@ class Channel:
 
     def _read_proc(self, way, block, page):
         die = self.dies[way]
-        tracer = self.engine.tracer
+        tracer = self._tracer
         token = None
-        if tracer.enabled:
+        if self._tracing:
             token = tracer.begin(self.name, "read", way=way, block=block,
                                  page=page)
         yield die.busy.request()
         try:
             # Cell read first, then the data phase moves bytes out.
-            yield self.engine.timeout(self.timing.t_read)
+            engine = self.engine
+            yield engine.at(engine.now + self.timing.t_read)
             if self.fault_model is not None:
                 self.fault_model.check_read(self.channel_id, way, block, page)
             result = die.read_page(block, page)
@@ -113,14 +123,15 @@ class Channel:
 
     def _erase_proc(self, way, block):
         die = self.dies[way]
-        tracer = self.engine.tracer
+        tracer = self._tracer
         token = None
-        if tracer.enabled:
+        if self._tracing:
             token = tracer.begin(self.name, "erase", way=way, block=block)
         yield die.busy.request()
         try:
             die.erase_block(block)
-            yield self.engine.timeout(self.timing.t_erase)
+            engine = self.engine
+            yield engine.at(engine.now + self.timing.t_erase)
         finally:
             die.busy.release()
             if token is not None:

@@ -71,6 +71,10 @@ class NtbBridge:
         self.engine = engine
         self.port_a = port_a
         self.port_b = port_b
+        # Pre-resolved tracing guard: ``forward`` runs once per TLP, so a
+        # quiet wire should pay no engine->tracer->enabled chain per hop.
+        self._tracer = engine.tracer
+        self._tracing = engine.tracer.enabled
         port_a._bridge = self
         port_b._bridge = self
         self._pipes = {
@@ -142,10 +146,10 @@ class NtbBridge:
             raise TypeError(f"expected a Tlp, got {type(tlp).__name__}")
         peer = self.peer_of(source_port)
         pipe = self._pipes[id(source_port)]
-        tracer = self.engine.tracer
+        tracer = self._tracer
         track = f"ntb:{source_port.name}->{peer.name}"
         token = None
-        if tracer.enabled:
+        if self._tracing:
             # Mirror TLPs carry their stream offset as the wire address, so
             # the hop span joins the primary's ship span to the peer's
             # intake span in the flow view.
@@ -159,7 +163,7 @@ class NtbBridge:
             self._corrupt_budget -= 1
             self.tlps_corrupted += 1
             tlp.metadata["corrupted"] = True
-            if tracer.enabled:
+            if self._tracing:
                 tracer.instant(track, "tlp-corrupted", address=tlp.address)
         done = pipe.transfer(tlp.wire_size)
         delivery = self.engine.event()

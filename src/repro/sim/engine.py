@@ -1,4 +1,4 @@
-"""The discrete-event engine: clock, two-tier event queue, generator processes.
+"""The discrete-event engine: clock, timing-wheel event queue, processes.
 
 The programming model follows the classic process-interaction style.  A
 *process* is a generator that yields :class:`Event` objects; the engine
@@ -17,24 +17,66 @@ event's value.  Example::
 
 Scheduling is two-tier.  Events triggered at the *current* instant — by
 ``succeed()``/``fail()``, process resumes, and zero-delay timeouts — go on a
-plain FIFO deque (the *immediate queue*) and never touch the heap; only
-future-dated timeouts pay for heap ordering.  Same-instant triggers dominate
-real workloads (every device completion fans out through chains of them), so
-this keeps the hot path at deque-append/popleft cost with no tuple churn and
-no sequence counter.
+plain FIFO deque (the *immediate queue*) and never touch the timer
+structures; only future-dated timeouts pay for time ordering.  Same-instant
+triggers dominate real workloads (every device completion fans out through
+chains of them), so this keeps the hot path at deque-append/popleft cost.
 
-Global FIFO order at one instant is preserved exactly: a heap entry whose
-time equals the current instant was necessarily pushed at an *earlier*
-instant (the heap only ever holds strictly-future timeouts), so it predates
-everything in the immediate queue and the run loop drains such entries first.
+Future timeouts live in a **hashed hierarchical timing wheel** instead of a
+binary heap.  Time is bucketed into 1 ns ticks; four levels of 256 slots
+cover a 2**32-tick block (~4.29 s of simulated time) and a small overflow
+heap catches anything farther out.  Level selection is block-aligned — an
+entry goes to the first level whose slot span contains both the target
+tick and the wheel's current position (``tick ^ cur_tick`` picks it in one
+branch ladder):
+
+* level 0 — one slot per tick, the remainder of the current 256-tick
+  block (the common device / retry / heartbeat range): insert is an O(1)
+  list append + bitmask OR.
+* levels 1–3 — each slot spans 2**8 / 2**16 / 2**24 ticks; entries cascade
+  down one level when the wheel advances into their slot's span.
+* overflow — a conventional ``(when, seq, event)`` min-heap for ticks
+  outside the wheel's 2**32-tick block; entries migrate into the wheel as
+  it approaches (every refill migrates first, so an overflow timer can
+  never be outrun by a wheel timer at an earlier time).
+
+Each level keeps a 256-bit occupancy bitmask (a Python int) so the wheel
+skips empty slots in one ``(mask & -mask).bit_length()`` step rather than
+ticking through them.  Draining a slot moves its entries — already a single
+tick's worth at level 0 — into a sorted *batch* that the run loop sweeps in
+one pass: one wheel slot drain, one callback sweep, which is what amortizes
+per-event scheduling for NAND-channel and transport completions that land
+on the same tick.  :meth:`Engine.at` goes one step further: completions
+targeting the same *instant* share one event — one wheel entry and one
+dispatch, however many waiters pile on — which is how the NAND channel's
+cell timers and the transport's aligned reporter periods batch.
+
+Determinism contract (chaos and checker replays depend on it, byte for
+byte):
+
+* Same-instant events fire in strict FIFO trigger order.  The immediate
+  deque preserves it directly; timer entries carry a monotonically
+  increasing sequence number and every slot/batch is ordered by
+  ``(when, seq)``, so ties break on schedule order exactly as the seed
+  engine's global heap did.
+* A timer whose time equals the current instant was necessarily scheduled
+  at an *earlier* instant, so it fires before anything in the immediate
+  queue (the run loop sweeps the whole same-time batch before returning to
+  immediates).
+* Firing times are the exact float ``when`` the timeout was scheduled for —
+  ticks only bucket entries, they never quantize the clock.
 
 Timeout cancellation is lazy: :meth:`Event.cancel` marks the event and the
-run loop discards it at pop time, so losing a timeout-vs-completion race
-costs O(1) instead of a heap rebuild.
+run loop discards it at drain time, so losing a timeout-vs-completion race
+costs O(1).  To keep the WAL group-commit idiom (schedule + cancel nearly
+every timer) from accumulating garbage, the engine counts cancelled
+residents and opportunistically compacts the wheel and overflow heap when
+more than half of the outstanding timers are dead.
 """
 
-import heapq
+from bisect import insort
 from collections import deque
+from heapq import heapify, heappop, heappush
 from itertools import count
 
 
@@ -91,6 +133,19 @@ def tracer_factory():
     return _tracer_factory
 
 
+# Wheel geometry: 4 levels x 256 slots, 1 ns per level-0 tick.  The level
+# thresholds compare ``tick ^ cur_tick`` (block-aligned selection); ticks
+# outside the wheel's 2**32-tick block go to the overflow heap.
+_SLOT_BITS = 8
+_SLOTS = 1 << _SLOT_BITS  # 256
+_L1_SPAN = 1 << (_SLOT_BITS * 2)  # 65536
+_L2_SPAN = 1 << (_SLOT_BITS * 3)  # 16777216
+_HORIZON = 1 << (_SLOT_BITS * 4)  # 4294967296 ticks ~= 4.29 s
+# Compaction trigger: rebuild once this many cancelled timers are resident
+# AND they outnumber the live ones (>50%).
+_COMPACT_MIN_CANCELLED = 128
+
+
 class Event:
     """A one-shot occurrence that processes can wait on.
 
@@ -119,8 +174,8 @@ class Event:
         # True once the engine has popped the event and run its callbacks;
         # a `then()` registered after that point runs at the current instant.
         self._processed = False
-        # Lazily-cancelled events are discarded at pop time instead of being
-        # dug out of the queues.
+        # Lazily-cancelled events are discarded at drain time instead of
+        # being dug out of the queues.
         self._cancelled = False
         # A defused event's failure no longer counts as unhandled (set on
         # the losers of an AnyOf race when their waiter detaches).
@@ -167,7 +222,7 @@ class Event:
 
         Pending events stop accepting ``succeed()``/``fail()``; already
         triggered but not yet processed events are dropped lazily when the
-        run loop reaches them (a cancelled timeout costs O(1), no heap
+        run loop reaches them (a cancelled timeout costs O(1), no queue
         surgery).  Cancelling an already-processed event is a no-op.  The
         caller is responsible for not leaving a process waiting forever on
         a cancelled event — cancel only events whose outcome nobody awaits
@@ -207,15 +262,47 @@ class Timeout(Event):
     def __init__(self, engine, delay, value=None):
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        super().__init__(engine)
-        self.delay = delay
-        self.triggered = True
+        # Inlined Event.__init__: timeouts are the single hottest allocation
+        # in timer-bound workloads and the super() call is measurable.
+        self.engine = engine
+        self.callbacks = []
         self._value = value
+        self._exception = None
+        self.triggered = True
+        self._processed = False
+        self._cancelled = False
+        self._defused = False
+        self.delay = delay
         if delay == 0:
             # Zero-delay timeouts fire at the current instant: fast path.
             engine._immediate.append(self)
+            return
+        when = engine._now + delay
+        tick = int(when)
+        cur = engine._cur_tick
+        if cur < tick and (tick ^ cur) < _SLOTS:
+            # Level-0 fast path: the device/retry/heartbeat range (same
+            # 256-tick block as the wheel position).  Inserts are plain
+            # appends; the slot is sorted once at drain time, amortized
+            # across every entry it holds.
+            slot_entries = engine._l0[tick & 255]
+            if not slot_entries:
+                engine._occ0 |= 1 << (tick & 255)
+            slot_entries.append((when, next(engine._sequence), self))
         else:
-            engine._push_at(engine._now + delay, self)
+            engine._push_at(when, self)
+
+    def cancel(self):
+        if not self._cancelled and not self._processed and self.delay != 0:
+            self._cancelled = True
+            self.callbacks.clear()
+            engine = self.engine
+            cancelled = engine._cancelled_pending + 1
+            engine._cancelled_pending = cancelled
+            if cancelled >= engine._compact_check:
+                engine._maybe_compact()
+            return self
+        return Event.cancel(self)
 
 
 class Process(Event):
@@ -269,21 +356,21 @@ class AllOf(Event):
     Value is the list of individual event values, in the given order.
     """
 
-    __slots__ = ("_pending", "_events")
+    __slots__ = ("_pending_children", "_events")
 
     def __init__(self, engine, events):
         super().__init__(engine)
         self._events = list(events)
-        self._pending = len(self._events)
-        if self._pending == 0:
+        self._pending_children = len(self._events)
+        if self._pending_children == 0:
             self.succeed([])
             return
         for event in self._events:
             event.then(self._on_child)
 
     def _on_child(self, _event):
-        self._pending -= 1
-        if self._pending == 0 and not self.triggered:
+        self._pending_children -= 1
+        if self._pending_children == 0 and not self.triggered:
             self.succeed([child.value for child in self._events])
 
 
@@ -326,23 +413,122 @@ class Engine:
     """Owns the simulated clock and runs events in time order.
 
     Determinism: same-instant events fire in strict FIFO trigger order (the
-    immediate deque preserves it directly; heap ties break on a
+    immediate deque preserves it directly; timer ties break on a
     monotonically increasing sequence number), so a run is exactly
     reproducible.
     """
+
+    __slots__ = (
+        "_now",
+        "_immediate",
+        "_cur_tick",
+        "_l0",
+        "_l1",
+        "_l2",
+        "_l3",
+        "_occ0",
+        "_occ1",
+        "_occ2",
+        "_occ3",
+        "_overflow",
+        "_batch",
+        "_batch_pos",
+        "_sequence",
+        "_shared_ticks",
+        "_cancelled_pending",
+        "_compact_check",
+        "tracer",
+        # ``timeout`` is an instance slot, not a method: every engine
+        # installs a per-instance closure (see
+        # ``_install_timeout_fast_path``) and slot access keeps both the
+        # closure lookup and the wheel fields it touches off dict paths.
+        "timeout",
+    )
 
     def __init__(self):
         self._now = 0.0
         # Tier 1: events triggered at the current instant, FIFO.
         self._immediate = deque()
-        # Tier 2: strictly-future timeouts, ordered by (time, sequence).
-        self._heap = []
+        # Tier 2: the hierarchical timing wheel (see module docstring).
+        # ``_cur_tick`` is the wheel's position; it never moves backwards.
+        self._cur_tick = 0
+        self._l0 = [[] for _ in range(_SLOTS)]
+        self._l1 = [[] for _ in range(_SLOTS)]
+        self._l2 = [[] for _ in range(_SLOTS)]
+        self._l3 = [[] for _ in range(_SLOTS)]
+        self._occ0 = 0
+        self._occ1 = 0
+        self._occ2 = 0
+        self._occ3 = 0
+        # Out-of-horizon timers: a plain (when, seq, event) min-heap.
+        self._overflow = []
+        # The slot currently being drained, sorted by (when, seq);
+        # ``_batch_pos`` is the drain cursor.  Late inserts that land at or
+        # behind the wheel position insort here to keep time order.
+        self._batch = []
+        self._batch_pos = 0
         self._sequence = count()
+        # Shared same-instant events handed out by ``at()``: one wheel
+        # entry per distinct instant, however many waiters pile on.
+        self._shared_ticks = {}
+        # Compaction bookkeeping: ``_cancelled_pending`` counts cancelled
+        # timers still resident in the wheel/overflow/batch; once it
+        # reaches ``_compact_check`` the next cancel takes an exact census
+        # (``_maybe_compact``) and rebuilds if the dead outnumber the live.
+        self._cancelled_pending = 0
+        self._compact_check = _COMPACT_MIN_CANCELLED
         # Observability: the shared no-op tracer unless a capture session
         # is active (one assignment at construction; the run loop itself
         # never consults it, so tracing cannot tax the event hot path).
         factory = _tracer_factory
         self.tracer = NULL_TRACER if factory is None else factory(self)
+        self._install_timeout_fast_path()
+
+    def _install_timeout_fast_path(self):
+        """Install ``timeout`` as a per-engine closure (the only definition).
+
+        Timer creation is the hottest allocation in timer-bound workloads;
+        the closure folds the factory method and ``Timeout.__init__`` into
+        a single frame (no bound-method object, no type-call dispatch) and
+        pre-binds the queue structures.  Semantics are identical to
+        ``Timeout(engine, delay, value)``.
+        """
+        engine = self
+        immediate = self._immediate
+        l0 = self._l0
+        next_seq = self._sequence.__next__
+        new = Timeout.__new__
+
+        def timeout(delay, value=None):
+            event = new(Timeout)
+            event.engine = engine
+            event.callbacks = []
+            event._value = value
+            event._exception = None
+            event.triggered = True
+            event._processed = False
+            event._cancelled = False
+            event._defused = False
+            event.delay = delay
+            if delay <= 0:
+                if delay == 0:
+                    immediate.append(event)
+                    return event
+                raise SimulationError(f"negative timeout: {delay}")
+            when = engine._now + delay
+            tick = int(when)
+            cur = engine._cur_tick
+            if cur < tick and (tick ^ cur) < _SLOTS:
+                slot_entries = l0[tick & 255]
+                if not slot_entries:
+                    engine._occ0 |= 1 << (tick & 255)
+                slot_entries.append((when, next_seq(), event))
+            else:
+                engine._push_at(when, event)
+            return event
+
+        timeout.__doc__ = "Create an event triggering ``delay`` ns from now."
+        self.timeout = timeout
 
     @property
     def now(self):
@@ -355,9 +541,48 @@ class Engine:
         """Create a pending :class:`Event` owned by this engine."""
         return Event(self)
 
-    def timeout(self, delay, value=None):
-        """Create an event triggering ``delay`` ns from now."""
-        return Timeout(self, delay, value)
+    def at(self, when):
+        """Shared event firing at the absolute instant ``when`` (ns).
+
+        Repeated calls with the same ``when`` — before it fires — return
+        the *same* event, so any number of completions landing on one
+        instant occupy a single wheel entry and are delivered in one
+        callback sweep (batched same-tick completion delivery).  Waiters
+        resume in registration order, which for independently created
+        completions equals creation order, i.e. the FIFO order separate
+        timeouts would have produced.  The event value is ``None``; do
+        not ``cancel()`` a shared event — other waiters may hold it.
+        """
+        now = self._now
+        if when < now:
+            raise SimulationError(f"at() instant in the past: {when} < {now}")
+        shared = self._shared_ticks
+        event = shared.get(when)
+        if event is not None and not event._processed \
+                and not event._cancelled:
+            return event
+        if len(shared) >= 64:
+            # Opportunistic purge of fired/stale instants keeps the memo
+            # bounded without a per-fire hook on the run loop.
+            for key in [k for k, v in shared.items()
+                        if v._processed or v._cancelled or k < now]:
+                del shared[key]
+        event = Timeout.__new__(Timeout)
+        event.engine = self
+        event.callbacks = []
+        event._value = None
+        event._exception = None
+        event.triggered = True
+        event._processed = False
+        event._cancelled = False
+        event._defused = False
+        event.delay = when - now
+        if when == now:
+            self._immediate.append(event)
+        else:
+            self._push_at(when, event)
+        shared[when] = event
+        return event
 
     def process(self, generator, name=None):
         """Start ``generator`` as a process; returns its completion event."""
@@ -374,15 +599,233 @@ class Engine:
     # -- scheduling internals --------------------------------------------------
 
     def _push_at(self, when, event):
-        heapq.heappush(self._heap, (when, next(self._sequence), event))
+        """Insert a new timer firing at ``when`` (general path).
+
+        The level-0 fast path lives inline in ``Timeout.__init__``; this
+        handles everything else: at-or-behind-the-wheel times (insort into
+        the live batch), levels 1-3, and the overflow heap.
+        """
+        entry = (when, next(self._sequence), event)
+        tick = int(when)
+        cur = self._cur_tick
+        if tick <= cur:
+            # The wheel has already advanced onto (or past) this tick —
+            # possible after run(until=...) parked with a batch loaded, or
+            # for sub-tick delays.  Keep the batch sorted; (when, seq)
+            # ordering lands the entry at or after the drain cursor.
+            insort(self._batch, entry)
+            return
+        # Level selection is block-aligned: ``tick ^ cur`` tells the highest
+        # differing bit, i.e. the first level whose slot span still contains
+        # both the wheel position and the target tick.
+        diff = tick ^ cur
+        if diff < _SLOTS:
+            slot = tick & 255
+            self._l0[slot].append(entry)
+            self._occ0 |= 1 << slot
+        elif diff < _L1_SPAN:
+            slot = (tick >> 8) & 255
+            self._l1[slot].append(entry)
+            self._occ1 |= 1 << slot
+        elif diff < _L2_SPAN:
+            slot = (tick >> 16) & 255
+            self._l2[slot].append(entry)
+            self._occ2 |= 1 << slot
+        elif diff < _HORIZON:
+            slot = (tick >> 24) & 255
+            self._l3[slot].append(entry)
+            self._occ3 |= 1 << slot
+        else:
+            heappush(self._overflow, entry)
 
     def _push_triggered(self, event):
         self._immediate.append(event)
 
+    def _place(self, entry, cur, due):
+        """Re-file an existing entry relative to wheel position ``cur``.
+
+        Used by cascades and overflow migration; the entry keeps its
+        original sequence number, so FIFO ties survive relocation.  Entries
+        at or behind ``cur`` collect into ``due`` (the next batch).
+        """
+        tick = int(entry[0])
+        if tick <= cur:
+            due.append(entry)
+            return
+        diff = tick ^ cur
+        if diff < _SLOTS:
+            slot = tick & 255
+            self._l0[slot].append(entry)
+            self._occ0 |= 1 << slot
+        elif diff < _L1_SPAN:
+            slot = (tick >> 8) & 255
+            self._l1[slot].append(entry)
+            self._occ1 |= 1 << slot
+        elif diff < _L2_SPAN:
+            slot = (tick >> 16) & 255
+            self._l2[slot].append(entry)
+            self._occ2 |= 1 << slot
+        else:
+            slot = (tick >> 24) & 255
+            self._l3[slot].append(entry)
+            self._occ3 |= 1 << slot
+
+    def _refill(self):
+        """Advance the wheel to the next occupied tick and load its batch.
+
+        Returns True with ``_batch``/``_batch_pos`` set when timers remain,
+        False when every timer structure is empty.  Migrates in-horizon
+        overflow entries first so an overflow timer can never be outrun by
+        a wheel timer at an earlier time, then drains the earliest level-0
+        slot, cascading levels 1-3 down (and jumping to the overflow
+        minimum when the wheel is empty) as needed.
+        """
+        overflow = self._overflow
+        cur = self._cur_tick
+        due = []
+        if overflow:
+            # Migrate entries whose tick shares the wheel's 2**32-tick block
+            # (block-aligned, like level selection).
+            while overflow and (int(overflow[0][0]) ^ cur) < _HORIZON:
+                entry = heappop(overflow)
+                if entry[2]._cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                self._place(entry, cur, due)
+        while True:
+            if due:
+                due.sort()
+                self._batch = due
+                self._batch_pos = 0
+                self._cur_tick = cur
+                return True
+            occ = self._occ0
+            if occ:
+                slot = (occ & -occ).bit_length() - 1
+                cur = (cur & -_SLOTS) | slot
+                batch = self._l0[slot]
+                self._l0[slot] = []
+                self._occ0 = occ & ~(1 << slot)
+                batch.sort()
+                self._batch = batch
+                self._batch_pos = 0
+                self._cur_tick = cur
+                return True
+            occ = self._occ1
+            if occ:
+                slot = (occ & -occ).bit_length() - 1
+                cur = (cur & -_L1_SPAN) | (slot << 8)
+                entries = self._l1[slot]
+                self._l1[slot] = []
+                self._occ1 = occ & ~(1 << slot)
+                for entry in entries:
+                    if entry[2]._cancelled:
+                        self._cancelled_pending -= 1
+                    else:
+                        self._place(entry, cur, due)
+                continue
+            occ = self._occ2
+            if occ:
+                slot = (occ & -occ).bit_length() - 1
+                cur = (cur & -_L2_SPAN) | (slot << 16)
+                entries = self._l2[slot]
+                self._l2[slot] = []
+                self._occ2 = occ & ~(1 << slot)
+                for entry in entries:
+                    if entry[2]._cancelled:
+                        self._cancelled_pending -= 1
+                    else:
+                        self._place(entry, cur, due)
+                continue
+            occ = self._occ3
+            if occ:
+                slot = (occ & -occ).bit_length() - 1
+                cur = (cur & -_HORIZON) | (slot << 24)
+                entries = self._l3[slot]
+                self._l3[slot] = []
+                self._occ3 = occ & ~(1 << slot)
+                for entry in entries:
+                    if entry[2]._cancelled:
+                        self._cancelled_pending -= 1
+                    else:
+                        self._place(entry, cur, due)
+                continue
+            # Wheel empty: jump to the overflow minimum, if any.
+            while overflow and overflow[0][2]._cancelled:
+                heappop(overflow)
+                self._cancelled_pending -= 1
+            if not overflow:
+                self._cur_tick = cur
+                return False
+            cur = int(overflow[0][0])
+            while overflow and (int(overflow[0][0]) ^ cur) < _HORIZON:
+                entry = heappop(overflow)
+                if entry[2]._cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                self._place(entry, cur, due)
+
+    def _maybe_compact(self):
+        """Census the timer structures; compact if >50% are cancelled.
+
+        Called from ``Timeout.cancel`` when the cancelled count crosses
+        ``_compact_check``.  The census is O(slots), not O(entries) — it
+        sums slot lengths — so deferring it to a threshold keeps the
+        per-insert and per-cancel paths free of live/dead accounting.
+        """
+        resident = (
+            sum(map(len, self._l0))
+            + sum(map(len, self._l1))
+            + sum(map(len, self._l2))
+            + sum(map(len, self._l3))
+            + len(self._overflow)
+            + (len(self._batch) - self._batch_pos)
+        )
+        if self._cancelled_pending * 2 > resident:
+            self._compact_timers()
+        else:
+            # Mostly-live: back off geometrically so repeated cancels pay
+            # for the next census only after meaningful growth.
+            self._compact_check = self._cancelled_pending * 2
+
+    def _compact_timers(self):
+        """Rebuild the wheel + overflow heap dropping cancelled entries.
+
+        Triggered opportunistically from ``Timeout.cancel`` once cancelled
+        residents outnumber live ones, so the schedule-then-cancel idiom
+        (WAL group commit, transport retry races) cannot grow the timer
+        structures without bound.  The live batch is left untouched — the
+        run loop holds references into it — so its cancelled entries are
+        counted back into ``_cancelled_pending`` and dropped at drain time.
+        """
+        occs = []
+        for level in (self._l0, self._l1, self._l2, self._l3):
+            occ = 0
+            for slot in range(_SLOTS):
+                entries = level[slot]
+                if not entries:
+                    continue
+                live = [e for e in entries if not e[2]._cancelled]
+                level[slot] = live
+                if live:
+                    occ |= 1 << slot
+            occs.append(occ)
+        self._occ0, self._occ1, self._occ2, self._occ3 = occs
+        overflow = [e for e in self._overflow if not e[2]._cancelled]
+        heapify(overflow)
+        self._overflow = overflow
+        batch = self._batch
+        self._cancelled_pending = sum(
+            1
+            for i in range(self._batch_pos, len(batch))
+            if batch[i][2]._cancelled
+        )
+        self._compact_check = self._cancelled_pending + _COMPACT_MIN_CANCELLED
+
     # -- execution --------------------------------------------------------------
 
     def run(self, until=None):
-        """Run events until both queues drain or the clock passes ``until``.
+        """Run events until the queues drain or the clock passes ``until``.
 
         Returns the final simulated time.  Events scheduled exactly at
         ``until`` still fire (the bound is inclusive).
@@ -390,65 +833,99 @@ class Engine:
         # Local bindings for the hot loop: every name resolved here is one
         # dict lookup the per-event path no longer pays.
         immediate = self._immediate
-        heap = self._heap
         popleft = immediate.popleft
-        heappop = heapq.heappop
         now = self._now
         while True:
             if immediate:
-                # Fast path: no heap access at all.  Heap entries at the
+                # Fast path: no timer access at all.  Timer entries at the
                 # current instant cannot appear while immediates are being
-                # processed (the heap holds only strictly-future timeouts);
-                # the drain loop below already flushed any that existed.
+                # processed (timers are strictly future when scheduled);
+                # the batch sweep below already flushed any that existed.
                 event = popleft()
                 if event._cancelled:
                     continue
                 event._processed = True
                 callbacks = event.callbacks
                 event.callbacks = []
-                if callbacks:
+                if len(callbacks) == 1:
+                    # One waiter is the overwhelmingly common case (a
+                    # process resume or a single completion hook); skip
+                    # the loop setup.
+                    callbacks[0](event)
+                elif callbacks:
                     for callback in callbacks:
                         callback(event)
                 elif event._exception is not None and not event._defused:
                     # A failed event nobody waits on is an unhandled modeled
                     # fault; surface it instead of dropping it.
                     raise event._exception
-            elif heap:
-                head = heap[0]
-                if head[2]._cancelled:
-                    # Discard lazily, before it can advance the clock.
-                    heappop(heap)
-                    continue
-                when = head[0]
-                if when != now:
-                    if when < now:
-                        raise SimulationError(
-                            "event heap went backwards in time"
-                        )
-                    if until is not None and when > until:
-                        self._now = until
-                        return until
-                    self._now = now = when
-                # Drain every heap entry at this instant before touching the
-                # immediate queue: they were pushed at an earlier instant, so
-                # they predate anything triggered while processing `now` —
-                # this keeps global same-instant FIFO order exact.
+                continue
+            batch = self._batch
+            pos = self._batch_pos
+            if pos == len(batch):
+                if not self._refill():
+                    break
+                batch = self._batch
+                pos = 0
+            # Skip a cancelled prefix before it can advance the clock.
+            entry = batch[pos]
+            while entry[2]._cancelled:
+                self._cancelled_pending -= 1
+                pos += 1
+                if pos == len(batch):
+                    break
+                entry = batch[pos]
+            self._batch_pos = pos
+            if pos == len(batch):
+                continue
+            when = entry[0]
+            if when != now:
+                if when < now:
+                    raise SimulationError(
+                        "event queue went backwards in time"
+                    )
+                if until is not None and when > until:
+                    self._now = until
+                    return until
+                self._now = now = when
+            # Sweep every batch entry at this instant before touching the
+            # immediate queue: they were scheduled at an earlier instant,
+            # so they predate anything triggered while processing `now` —
+            # this keeps global same-instant FIFO order exact, and turns a
+            # slot full of same-tick completions into one callback sweep.
+            size = len(batch)
+            try:
                 while True:
-                    event = heappop(heap)[2]
+                    event = batch[pos][2]
+                    pos += 1
                     if not event._cancelled:
                         event._processed = True
                         callbacks = event.callbacks
                         event.callbacks = []
-                        if callbacks:
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        elif callbacks:
                             for callback in callbacks:
                                 callback(event)
                         elif (event._exception is not None
                               and not event._defused):
                             raise event._exception
-                    if not heap or heap[0][0] != now:
+                    else:
+                        self._cancelled_pending -= 1
+                    if pos == size or batch[pos][0] != when:
+                        # ``size`` is a snapshot: a mid-sweep insort can only
+                        # grow the batch at or after the cursor, so stopping
+                        # at the stale size just re-enters the outer loop,
+                        # which picks the sweep back up at the same instant.
                         break
-            else:
-                break
+            except BaseException:
+                self._batch_pos = pos
+                raise
+            self._batch_pos = pos
+            if pos == len(batch):
+                # Fully drained: drop event references promptly.
+                batch.clear()
+                self._batch_pos = 0
         if until is not None and until > now:
             self._now = now = until
         return now
@@ -460,9 +937,34 @@ class Engine:
             immediate.popleft()
         if immediate:
             return self._now
-        heap = self._heap
-        while heap and heap[0][2]._cancelled:
-            heapq.heappop(heap)
-        if not heap:
+        batch = self._batch
+        for i in range(self._batch_pos, len(batch)):
+            if not batch[i][2]._cancelled:
+                return batch[i][0]
+        # Level order is time order: level 0 holds the current 256-tick
+        # block, each higher level strictly later spans; within a level,
+        # ascending slot index is ascending time.
+        for level, occ in (
+            (self._l0, self._occ0),
+            (self._l1, self._occ1),
+            (self._l2, self._occ2),
+            (self._l3, self._occ3),
+        ):
+            while occ:
+                slot = (occ & -occ).bit_length() - 1
+                occ &= occ - 1
+                best = None
+                for entry in level[slot]:
+                    if not entry[2]._cancelled and (
+                        best is None or entry < best
+                    ):
+                        best = entry
+                if best is not None:
+                    return best[0]
+        overflow = self._overflow
+        while overflow and overflow[0][2]._cancelled:
+            heappop(overflow)
+            self._cancelled_pending -= 1
+        if not overflow:
             return None
-        return heap[0][0]
+        return overflow[0][0]

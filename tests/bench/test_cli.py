@@ -98,4 +98,5 @@ class TestRealRun:
         assert payload["bench"] == "kernel"
         assert {row["workload"] for row in payload["rows"]} == {
             "same-instant", "event-churn", "timeout-heavy",
+            "timeout-cancel-heavy", "fleet-scale",
         }
