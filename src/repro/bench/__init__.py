@@ -10,6 +10,7 @@ them directly.
 from repro.bench.reporting import format_series, format_table
 from repro.bench.parallel import run_cells
 from repro.bench.chaos import load_plan, run_chaos_bench
+from repro.bench.fleet import run_fleet_bench
 from repro.bench.kernel import run_kernel_bench
 from repro.bench.fig09_local_logging import run_fig09
 from repro.bench.fig10_write_combining import run_fig10
@@ -23,6 +24,7 @@ __all__ = [
     "run_cells",
     "load_plan",
     "run_chaos_bench",
+    "run_fleet_bench",
     "run_kernel_bench",
     "run_fig09",
     "run_fig10",

@@ -12,6 +12,7 @@ Usage::
     python -m repro.bench chaos [--seed 7] [--faults plan.json]
     python -m repro.bench check [--scenario chain --budget 200 ...]
     python -m repro.bench health [--scenario failover|overload|all] [--seed 7]
+    python -m repro.bench fleet [--devices 1 2 4] [--tenants 3] [--seed 7]
     python -m repro.bench trace [--scenario chain|fig09|chaos] [--out t.json]
 
 Every subcommand accepts ``--jobs N`` (fan the figure's independent cells
@@ -41,6 +42,7 @@ from repro.bench import (
     run_fig11,
     run_fig12,
     run_fig13,
+    run_fleet_bench,
     run_kernel_bench,
 )
 from repro.sim.units import KIB
@@ -268,6 +270,46 @@ def _health(args):
     return results
 
 
+def _fleet(args):
+    result = run_fleet_bench(
+        device_counts=tuple(getattr(args, "devices", None) or (1, 2, 4)),
+        tenants_per_device=getattr(args, "tenants", 3),
+        duration_ms=getattr(args, "duration_ms", 2.0),
+        seed=getattr(args, "seed", 7),
+        replicas=getattr(args, "replicas", 1),
+        hot=not getattr(args, "no_hot", False),
+        hot_duration_ms=getattr(args, "hot_duration_ms", 10.0),
+        jobs=_jobs(args),
+    )
+    print(format_table(result["scaling"], (
+        ("devices", "devices", "d"),
+        ("tenants", "tenants", "d"),
+        ("commits", "commits", "d"),
+        ("ktxn_per_s", "throughput [ktxn/s]", ".1f"),
+        ("efficiency", "efficiency", ".2f"),
+        ("admission_rejections", "rejections", "d"),
+    ), title="Fleet — aggregate throughput vs device count"))
+    hot = result["hot"]
+    if hot is not None:
+        moves = [(m["shard"], m["source"], m["dest"]) for m in hot["moves"]]
+        print(f"\nhot-shard: {hot['devices']} devices, "
+              f"{hot['tenants']} tenants, hot at "
+              f"{hot['hot_at_ms']:.2f} ms; migrations={hot['migrations']} "
+              f"moves={moves}")
+        if hot["converged"]:
+            print(f"  rebalance converged in "
+                  f"{hot['time_to_converge_ms']:.2f} ms "
+                  f"(final imbalance {hot['final_imbalance']:.2f})")
+        else:
+            print(f"  NOT converged (imbalance "
+                  f"{hot['final_imbalance']:.2f})")
+        for event in hot["supervisor_events"]:
+            print(f"  t={event['time_ns'] / 1e6:7.3f} ms  "
+                  f"{event['action']:<20} {event['site']:<10} "
+                  f"{event['detail']}")
+    return result
+
+
 def _trace(args):
     from repro.bench.trace_cmd import run_trace
 
@@ -389,6 +431,24 @@ def build_parser():
     health.add_argument("--seed", type=int, default=7,
                         help="scenario seed")
 
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="sharded fleet: throughput scaling + hot-shard rebalance")
+    fleet.add_argument("--devices", type=int, nargs="+", default=[1, 2, 4],
+                       help="device counts for the scaling sweep")
+    fleet.add_argument("--tenants", type=int, default=3,
+                       help="tenants (shards) per device")
+    fleet.add_argument("--duration-ms", type=float, default=2.0,
+                       help="simulated milliseconds per scaling cell")
+    fleet.add_argument("--hot-duration-ms", type=float, default=10.0,
+                       help="simulated milliseconds for the hot-shard cell")
+    fleet.add_argument("--seed", type=int, default=7,
+                       help="fleet seed (workloads, device fault models)")
+    fleet.add_argument("--replicas", type=int, default=1,
+                       help="secondaries per fleet node chain")
+    fleet.add_argument("--no-hot", action="store_true",
+                       help="skip the hot-shard rebalance cell")
+
     trace = subparsers.add_parser(
         "trace", help="capture a full-stack trace of one scenario")
     trace.add_argument("--scenario", choices=["chain", "fig09", "chaos"],
@@ -411,7 +471,7 @@ def build_parser():
                        help="override the scenario's time budget")
 
     for sub in (fig09, fig10, fig11, fig12, fig13, kernel, chaos, health,
-                subparsers.choices["all"]):
+                fleet, subparsers.choices["all"]):
         _add_common_flags(sub)
     return parser
 
@@ -472,7 +532,7 @@ def main(argv=None):
             _write_json(json_path, "all", all_rows)
     else:
         extras = {"kernel": _kernel, "chaos": _chaos, "trace": _trace,
-                  "health": _health}
+                  "health": _health, "fleet": _fleet}
         runner = extras.get(args.figure) or FIGURES[args.figure]
         rows = _capturing(trace_path, args.figure, lambda: runner(args))
         if json_path:

@@ -1,0 +1,274 @@
+"""Fleet benchmark: throughput scaling and hot-shard rebalance convergence.
+
+Two experiment families behind ``python -m repro.bench fleet``:
+
+* **scaling** — one cell per device count: N replication chains under
+  one engine, ``tenants_per_device`` mixed TPC-C/YCSB tenants per node
+  (round-robin placement so the cells are load-symmetric), each tenant a
+  closed loop through its shard's admission lane.  Reported as aggregate
+  ktxn/s and scaling efficiency against the smallest cell — the
+  near-linear line the single-chain layer could never draw.
+* **hot-shard** — an open-loop fleet where one tenant's think time
+  collapses mid-run.  A :class:`~repro.cluster.rebalance.FleetSupervisor`
+  must notice the skew from admitted-byte rates alone, migrate load off
+  the hot node, and level the fleet; the cell reports time-to-converge
+  from the hot event to the supervisor's convergence mark.
+
+Cells are independent and deterministic per seed, so ``--jobs`` fans
+them over worker processes like every other figure.
+"""
+
+from repro.bench.parallel import run_cells
+from repro.cluster import Fleet, FleetSupervisor
+from repro.db.txn import TransactionAborted
+from repro.faults.scenario import chaos_config_factory
+from repro.health.errors import DeviceBusy
+from repro.sim.engine import Engine
+from repro.workloads.tpcc import TpccConfig, TpccWorkload
+from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+
+_TPCC_SCALE = dict(warehouses=2, preload_customers_per_district=4,
+                   preload_items=16)
+_YCSB_SCALE = dict(records=64, value_bytes=64, read_fraction=0.3)
+
+
+def make_tenant(kind, seed, index):
+    """One tenant's (workload iterator, shard bootstrap) pair.
+
+    The bootstrap rebuilds the tenant's deterministic base state (schema
+    plus populated rows) from config alone, so a migration destination
+    can re-run it and receive only transactional deltas over the WAL.
+    """
+    if kind == "tpcc":
+        config = TpccConfig(seed=seed * 1009 + index, **_TPCC_SCALE)
+        workload = TpccWorkload(config, worker_id=index)
+
+        def bootstrap(view, config=config, index=index):
+            TpccWorkload.create_schema(view)
+            TpccWorkload(config, worker_id=index).populate(view)
+
+        return workload, bootstrap
+    if kind == "ycsb":
+        config = YcsbConfig(seed=seed * 1013 + index, **_YCSB_SCALE)
+        workload = YcsbWorkload(config, worker_id=index)
+
+        def bootstrap(view, config=config, index=index):
+            YcsbWorkload.create_schema(view)
+            YcsbWorkload(config, worker_id=index).populate(view)
+
+        return workload, bootstrap
+    raise ValueError(f"unknown tenant kind {kind!r}")
+
+
+def tenant_loop(engine, shard, workload, deadline_ns, pace,
+                start_delay_ns=0.0):
+    """Drive one tenant until the deadline (a sim process).
+
+    ``pace`` is a mutable ``{"think_ns": float}`` — the hot-shard cell
+    mutates it mid-run to turn a steady tenant into a flash crowd.
+    DeviceBusy backs off for the device's suggested delay; aborts retry
+    with a fresh body (single-writer shards only self-conflict).
+    ``start_delay_ns`` staggers colocated tenants so they don't fall
+    into group-commit lockstep (every tenant riding the same batch
+    cycle), which would quantize throughput.
+    """
+    if start_delay_ns > 0:
+        yield engine.timeout(start_delay_ns)
+    iterator = iter(workload)
+    while engine.now < deadline_ns:
+        body = next(iterator)
+        while engine.now < deadline_ns:
+            try:
+                yield from shard.run_body(body)
+                break
+            except DeviceBusy as busy:
+                yield engine.timeout(busy.retry_after_ns or 50_000.0)
+            except TransactionAborted:
+                break
+        think_ns = pace["think_ns"]
+        if think_ns > 0:
+            yield engine.timeout(think_ns)
+
+
+def _build_fleet(seed, devices, tenants_per_device, replicas, est_txn_bytes):
+    """A fleet with round-robin tenant placement; returns (fleet, tenants).
+
+    Round-robin (explicit ``node=``) keeps scaling cells load-symmetric;
+    hash placement gets its workout in the placement property tests and
+    the rebalance path, where imbalance is the *point*.
+    """
+    engine = Engine()
+    fleet = Fleet(engine, chaos_config_factory(seed), replicas=replicas)
+    fleet.add_nodes(devices)
+    tenants = []
+    for index in range(devices * tenants_per_device):
+        # Kind and workload seed derive from the *slot within a node*
+        # (index // devices): every node serves an identical tenant
+        # population at every device count, so the scaling curve compares
+        # equal offered load per node — not different workload mixes.
+        slot = index // devices
+        kind = "tpcc" if slot % 2 == 0 else "ycsb"
+        workload, bootstrap = make_tenant(kind, seed, slot)
+        shard = fleet.create_shard(
+            f"tenant{index}", node=f"node{index % devices}",
+            bootstrap=bootstrap, est_txn_bytes=est_txn_bytes,
+        )
+        tenants.append((shard, workload))
+    return engine, fleet, tenants
+
+
+def _fleet_cell(**cell):
+    # run_cells splats each cell dict; re-bundle for the two cell bodies.
+    if cell["kind"] == "scaling":
+        return _scaling_cell(cell)
+    return _hot_cell(cell)
+
+
+def _scaling_cell(cell):
+    engine, fleet, tenants = _build_fleet(
+        cell["seed"], cell["devices"], cell["tenants_per_device"],
+        cell["replicas"], cell["est_txn_bytes"],
+    )
+    deadline = engine.now + cell["duration_ns"]
+    for slot, (shard, workload) in enumerate(tenants):
+        # Same per-slot stagger at every device count (slot // devices is
+        # the within-node position), so the cells stay comparable.
+        delay = (slot // cell["devices"]) * 7_300.0
+        engine.process(
+            tenant_loop(engine, shard, workload, deadline,
+                        {"think_ns": 0.0}, start_delay_ns=delay),
+            name=f"tenant:{shard.shard_id}",
+        )
+    engine.run(until=deadline)
+    commits = fleet.total_commits()
+    rejections = sum(node.admission.rejections
+                     for node in fleet.nodes.values())
+    fleet.stop()
+    return {
+        "cell": "scaling",
+        "devices": cell["devices"],
+        "tenants": len(tenants),
+        "commits": commits,
+        "ktxn_per_s": commits / (cell["duration_ns"] / 1e9) / 1e3,
+        "admission_rejections": rejections,
+    }
+
+
+def _hot_cell(cell):
+    engine, fleet, tenants = _build_fleet(
+        cell["seed"], cell["devices"], cell["tenants_per_device"],
+        cell["replicas"], cell["est_txn_bytes"],
+    )
+    supervisor = FleetSupervisor(
+        fleet,
+        poll_ns=cell["poll_ns"],
+        hot_ratio=cell["hot_ratio"],
+        dwell_polls=2,
+        cooldown_ns=cell["cooldown_ns"],
+        converge_ratio=cell["converge_ratio"],
+        migration_kw={"copy_rounds": 1, "round_wait_ns": 100_000.0},
+    )
+    deadline = engine.now + cell["duration_ns"]
+    think_ns = cell["think_us"] * 1e3
+    paces = []
+    for shard, workload in tenants:
+        pace = {"think_ns": think_ns}
+        paces.append(pace)
+        engine.process(
+            tenant_loop(engine, shard, workload, deadline, pace),
+            name=f"tenant:{shard.shard_id}",
+        )
+
+    hot_at = engine.now + cell["hot_at_ns"]
+
+    def flash_crowd():
+        yield engine.timeout(cell["hot_at_ns"])
+        # Tenant 0 (on node0) goes hot: its think time collapses.
+        paces[0]["think_ns"] = think_ns / cell["hot_multiplier"]
+
+    engine.process(flash_crowd(), name="flash-crowd")
+    supervisor.start()
+    engine.run(until=deadline)
+    supervisor.stop()
+    commits = fleet.total_commits()
+    converged = supervisor.converged_at_ns is not None
+    row = {
+        "cell": "hot-shard",
+        "devices": cell["devices"],
+        "tenants": len(tenants),
+        "commits": commits,
+        "hot_at_ms": hot_at / 1e6,
+        "migrations": len(supervisor.migrations),
+        "moves": list(fleet.moves),
+        "converged": converged,
+        "time_to_converge_ms": (
+            (supervisor.converged_at_ns - hot_at) / 1e6 if converged
+            else None
+        ),
+        "final_imbalance": round(supervisor.imbalance(), 3),
+        "supervisor_events": [
+            {k: v for k, v in event.items()}
+            for event in supervisor.events
+        ],
+    }
+    fleet.stop()
+    return row
+
+
+def run_fleet_bench(device_counts=(1, 2, 4), tenants_per_device=3,
+                    duration_ms=2.0, seed=7, replicas=1,
+                    est_txn_bytes=2048, hot=True, hot_devices=None,
+                    hot_duration_ms=10.0, hot_at_ms=1.0, hot_multiplier=16.0,
+                    think_us=200.0, poll_us=300.0, hot_ratio=1.6,
+                    converge_ratio=1.5, cooldown_ms=1.0, jobs=None):
+    """Run the fleet scaling sweep (and optionally the hot-shard cell).
+
+    Returns a JSON-able dict: per-device-count scaling rows with
+    efficiency relative to the smallest cell, plus the hot-shard
+    convergence row.
+    """
+    device_counts = tuple(device_counts)
+    if not device_counts:
+        raise ValueError("need at least one device count")
+    cells = [
+        {
+            "kind": "scaling", "seed": seed, "devices": devices,
+            "tenants_per_device": tenants_per_device, "replicas": replicas,
+            "duration_ns": duration_ms * 1e6,
+            "est_txn_bytes": est_txn_bytes,
+        }
+        for devices in device_counts
+    ]
+    if hot:
+        cells.append({
+            "kind": "hot", "seed": seed,
+            "devices": hot_devices or max(device_counts),
+            "tenants_per_device": tenants_per_device, "replicas": replicas,
+            "duration_ns": hot_duration_ms * 1e6,
+            "est_txn_bytes": est_txn_bytes,
+            "hot_at_ns": hot_at_ms * 1e6,
+            "hot_multiplier": hot_multiplier,
+            "think_us": think_us,
+            "poll_ns": poll_us * 1e3,
+            "hot_ratio": hot_ratio,
+            "converge_ratio": converge_ratio,
+            "cooldown_ns": cooldown_ms * 1e6,
+        })
+    rows = run_cells(_fleet_cell, cells, jobs)
+    scaling = [row for row in rows if row["cell"] == "scaling"]
+    hot_rows = [row for row in rows if row["cell"] == "hot-shard"]
+    base = scaling[0]
+    base_per_device = base["ktxn_per_s"] / base["devices"]
+    for row in scaling:
+        per_device = row["ktxn_per_s"] / row["devices"]
+        row["efficiency"] = (
+            per_device / base_per_device if base_per_device > 0 else 0.0
+        )
+    return {
+        "seed": seed,
+        "device_counts": list(device_counts),
+        "tenants_per_device": tenants_per_device,
+        "duration_ms": duration_ms,
+        "scaling": scaling,
+        "hot": hot_rows[0] if hot_rows else None,
+    }

@@ -15,6 +15,14 @@ Entry point: ``python -m repro.check --scenario {local,chain,multiwriter}
 --budget N [--exhaustive]``.  See CHECKING.md.
 """
 
+from repro.check.fleet import (
+    FLEET_FAMILIES,
+    FleetCheckConfig,
+    enumerate_fleet_schedules,
+    probe_fleet_candidates,
+    run_fleet_check,
+    run_fleet_schedule,
+)
 from repro.check.model import ReferenceModel, chain_frontier_violations
 from repro.check.points import (
     STAGES,
@@ -48,6 +56,12 @@ __all__ = [
     "probe_transitions",
     "run_check",
     "run_schedule",
+    "FLEET_FAMILIES",
+    "FleetCheckConfig",
+    "enumerate_fleet_schedules",
+    "probe_fleet_candidates",
+    "run_fleet_check",
+    "run_fleet_schedule",
     "CrashSchedule",
     "enumerate_schedules",
     "shrink_schedule",

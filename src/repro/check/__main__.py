@@ -5,6 +5,7 @@ Examples::
     python -m repro.check --scenario chain --budget 500
     python -m repro.check --scenario multiwriter --budget 200 --seed 7
     python -m repro.check --scenario local --exhaustive
+    python -m repro.check --fleet --budget 30
     python -m repro.check --replay reproducers/chain-combo-2500000ns-seed0.json
 
 Exit status 0 when every schedule passes (or a replayed reproducer no
@@ -41,6 +42,17 @@ def build_parser():
                              "injector's auto-splice: every reconfiguration "
                              "is the control plane's (adds the "
                              "supervised-failover schedule family)")
+    parser.add_argument("--fleet", action="store_true",
+                        help="check the fleet tier instead: a multi-node "
+                             "fleet with one shard migrating mid-run, under "
+                             "the fleet-cutover-crash / fleet-partition / "
+                             "fleet-failover schedule families")
+    parser.add_argument("--nodes", type=int, default=2,
+                        help="fleet size for --fleet (default: 2)")
+    parser.add_argument("--seed-cutover-bug", action="store_true",
+                        help="validate the fleet checker: seed the "
+                             "early-cutover ack-ordering bug in the "
+                             "migration protocol and expect failures")
     parser.add_argument("--transactions", type=int, default=24,
                         help="workload transactions (default: 24)")
     parser.add_argument("--out-dir", default="reproducers",
@@ -69,13 +81,23 @@ def main(argv=None):
             emit(f"  {violation}")
         return 1
 
-    config = CheckConfig(scenario=args.scenario, seed=args.seed,
-                         secondaries=args.secondaries,
-                         transactions=args.transactions,
-                         supervised=args.supervised)
-    report = run_check(config, budget=args.budget,
-                       exhaustive=args.exhaustive, out_dir=args.out_dir,
-                       log=emit)
+    if args.fleet:
+        from repro.check.fleet import FleetCheckConfig, run_fleet_check
+
+        config = FleetCheckConfig(seed=args.seed, nodes=args.nodes,
+                                  supervised=args.supervised,
+                                  early_cutover=args.seed_cutover_bug)
+        report = run_fleet_check(config, budget=args.budget,
+                                 exhaustive=args.exhaustive,
+                                 out_dir=args.out_dir, log=emit)
+    else:
+        config = CheckConfig(scenario=args.scenario, seed=args.seed,
+                             secondaries=args.secondaries,
+                             transactions=args.transactions,
+                             supervised=args.supervised)
+        report = run_check(config, budget=args.budget,
+                           exhaustive=args.exhaustive, out_dir=args.out_dir,
+                           log=emit)
 
     families = ", ".join(
         f"{family}:{count}"

@@ -83,6 +83,12 @@ def replay_reproducer(path):
     from repro.check.schedules import CrashSchedule
 
     data = json.loads(Path(path).read_text())
-    config = CheckConfig.from_dict(data["config"])
     schedule = CrashSchedule.from_dict(data["schedule"])
+    if data["config"].get("scenario") == "fleet":
+        from repro.check.fleet import FleetCheckConfig, run_fleet_schedule
+
+        return run_fleet_schedule(
+            FleetCheckConfig.from_dict(data["config"]), schedule
+        )
+    config = CheckConfig.from_dict(data["config"])
     return run_schedule(config, schedule)

@@ -34,6 +34,19 @@ class Cluster:
     def alive_secondaries(self):
         return [s for s in self.secondaries() if not s.device.halted]
 
+    def _membership(self, action, site, **detail):
+        """Emit a supervisor-track instant for a membership change.
+
+        Joins and evictions used to be invisible in Perfetto exports —
+        the ChainSupervisor traces its *decisions*, but topology edits
+        made directly (tests, fleet migrations, manual ops) left no
+        mark.  Now the cluster itself records every order/role change.
+        """
+        tracer = getattr(self.engine, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            tracer.instant("supervisor", "membership", action=action,
+                           site=site, order=",".join(self.order), **detail)
+
     def predecessor_of(self, name):
         """Nearest *alive* server upstream of ``name`` in the chain order."""
         index = self.order.index(name)
@@ -91,6 +104,9 @@ class Cluster:
             if dead_name in transport._flows:
                 transport.remove_peer(dead_name)
         self.order.remove(dead_name)
+        self._membership("evict", dead_name,
+                         upstream=upstream.name if upstream else "",
+                         successor=successor.name if successor else "")
         if upstream is None or successor is None:
             return None
         new_port = NtbPort(self.engine,
@@ -140,6 +156,7 @@ class Cluster:
             tail.device.transport.add_peer(name, port=new_port)
         transport.set_secondary(tail.name)
         self.order.append(name)
+        self._membership("join", name, tail=tail.name)
         return self.resync(name)
 
     def set_replication_policy(self, policy_name):
@@ -184,7 +201,10 @@ class Cluster:
                 yield server.device.admin(
                     AdminOpcode.XSSD_SET_SECONDARY, primary=new_primary_name
                 )
+            old_primary = self.primary_name
             self.primary_name = new_primary_name
+            self._membership("promote", new_primary_name,
+                             demoted=old_primary)
 
         return self.engine.process(proc(), name="promote")
 
@@ -258,7 +278,7 @@ def replicated_pair(engine, config_factory, ntb_bandwidth=7.0,
 
 
 def replicated_chain(engine, config_factory, secondaries=2,
-                     ntb_bandwidth=7.0, ntb_hop_ns=700.0):
+                     ntb_bandwidth=7.0, ntb_hop_ns=700.0, names=None):
     """Primary + N daisy-chained secondaries (chain replication layout).
 
     Each server mirrors to its right-hand neighbor; acknowledgements (the
@@ -266,14 +286,23 @@ def replicated_chain(engine, config_factory, secondaries=2,
     converges to the *tail's* progress — exactly the counter the chain
     policy exposes.  Middle servers get a second NTB port, as a real
     daisy-chained adapter provides.
+
+    ``names`` overrides the default ``primary``/``secondary-N`` server
+    names (head of the list is the primary); the fleet layer uses this
+    to run many chains under one engine without name collisions.
     """
     from repro.pcie.ntb import NtbPort
 
-    names = ["primary"] + [f"secondary-{i}" for i in range(1, secondaries + 1)]
+    if names is None:
+        names = ["primary"] + [f"secondary-{i}"
+                               for i in range(1, secondaries + 1)]
+    names = list(names)
+    if len(names) < 2:
+        raise ValueError("a chain needs a primary and at least one secondary")
     servers = [Server(engine, name, config_factory()) for name in names]
     bridges = []
     for left, right in zip(servers, servers[1:]):
-        if left.name == "primary":
+        if left.name == names[0]:
             left_port = left.ntb_port  # primary's main port faces right
         else:
             left_port = NtbPort(engine, f"{left.name}.right")
@@ -285,7 +314,7 @@ def replicated_chain(engine, config_factory, secondaries=2,
         left.right_port = left_port
     for server in servers:
         server.start()
-    cluster = Cluster(engine, servers, bridges, primary_name="primary",
+    cluster = Cluster(engine, servers, bridges, primary_name=names[0],
                       order=names)
     # Roles: head is primary, everyone else is secondary; every non-tail
     # server opens a mirror flow toward its right neighbor.

@@ -49,6 +49,16 @@ class AdmissionController:
     def register_writer(self, writer_id):
         self._inflight.setdefault(writer_id, 0)
 
+    def unregister_writer(self, writer_id):
+        """Drop a writer's fair-share lane (e.g. a shard migrated away).
+
+        A departed writer must not keep shrinking the survivors' fair
+        shares — ``admit`` divides the ceiling by the number of
+        registered lanes.  Unknown writers are ignored so teardown paths
+        can call this unconditionally.
+        """
+        self._inflight.pop(writer_id, None)
+
     def outstanding_bytes(self):
         """Bytes claimed from the stream but not yet locally persistent."""
         return max(

@@ -1,0 +1,169 @@
+"""Golden regression + smoke for ``python -m repro.bench fleet``.
+
+A tiny fixed-seed 2-to-4-device sweep (and a reduced hot-shard cell)
+frozen into ``tests/bench/golden/fleet.json``.  Structural assertions
+guard the report's JSON shape; the golden file pins the deterministic
+numbers so a physics or scheduling change shows up as a diff, not as a
+silent curve shift.
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python tests/bench/test_fleet_smoke.py regen
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.bench.fleet import run_fleet_bench
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "fleet.json"
+ROUND_DIGITS = 6
+REL_TOL = 1e-6
+
+SMOKE_KW = dict(
+    device_counts=(2, 4),
+    tenants_per_device=2,
+    duration_ms=1.0,
+    seed=7,
+    hot=True,
+    hot_devices=2,
+    hot_duration_ms=6.0,
+    hot_at_ms=0.8,
+    # A two-node fleet caps max/mean imbalance at 2.0, so the detector
+    # needs a lower trip point than the 4-node default, and enough think
+    # headroom for the flash crowd to actually multiply the rate.
+    think_us=300.0,
+    hot_multiplier=24.0,
+    hot_ratio=1.35,
+)
+
+
+def _round(value):
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            return repr(value)
+        return round(value, ROUND_DIGITS)
+    return value
+
+
+def compute():
+    result = run_fleet_bench(**SMOKE_KW)
+    hot = result["hot"]
+    return {
+        "scaling": [
+            {key: _round(value) for key, value in sorted(row.items())}
+            for row in result["scaling"]
+        ],
+        "hot": {
+            "devices": hot["devices"],
+            "commits": hot["commits"],
+            "migrations": hot["migrations"],
+            "converged": hot["converged"],
+            "moves": [
+                (move["shard"], move["source"], move["dest"])
+                for move in hot["moves"]
+            ],
+            "time_to_converge_ms": _round(hot["time_to_converge_ms"]),
+        },
+    }
+
+
+# -- structural assertions (independent of golden values) ----------------------------
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fleet_bench(**SMOKE_KW)
+
+
+def test_report_shape(result):
+    assert result["device_counts"] == [2, 4]
+    assert len(result["scaling"]) == 2
+    for row in result["scaling"]:
+        assert row["cell"] == "scaling"
+        assert row["commits"] > 0
+        assert row["ktxn_per_s"] > 0
+        assert row["tenants"] == row["devices"] * 2
+    assert result["hot"] is not None
+    assert result["hot"]["cell"] == "hot-shard"
+
+
+def test_scaling_meets_efficiency_floor(result):
+    # The tentpole acceptance: >= 0.75x ideal scaling across the sweep.
+    base, big = result["scaling"]
+    assert base["efficiency"] == pytest.approx(1.0)
+    assert big["efficiency"] >= 0.75, (
+        f"4-device efficiency {big['efficiency']:.2f} below the 0.75 floor"
+    )
+
+
+def test_hot_cell_rebalances_and_converges(result):
+    hot = result["hot"]
+    assert hot["migrations"] >= 1
+    assert hot["moves"], "no shard actually moved"
+    assert hot["moves"][0]["source"] == "node0", "the hot node is node0"
+    assert hot["converged"]
+    assert hot["time_to_converge_ms"] > 0
+    actions = [event["action"] for event in hot["supervisor_events"]]
+    assert "rebalance" in actions
+
+
+def test_fleet_bench_is_deterministic():
+    assert json.dumps(compute(), sort_keys=True) == json.dumps(
+        compute(), sort_keys=True
+    )
+
+
+# -- the golden pin ------------------------------------------------------------------
+
+
+def test_matches_golden(result):
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden {GOLDEN_PATH}; regenerate with "
+        f"`PYTHONPATH=src python {__file__} regen`"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    actual = compute()
+    assert len(actual["scaling"]) == len(golden["scaling"])
+    for index, (row, pin) in enumerate(
+            zip(actual["scaling"], golden["scaling"])):
+        assert set(row) == set(pin), f"scaling[{index}]: row keys changed"
+        for key, expected in pin.items():
+            value = row[key]
+            if isinstance(expected, float) and isinstance(value, float):
+                assert value == pytest.approx(expected, rel=REL_TOL), (
+                    f"scaling[{index}].{key}: {value} != golden {expected}"
+                )
+            else:
+                assert value == expected, (
+                    f"scaling[{index}].{key}: {value!r} != golden {expected!r}"
+                )
+    assert actual["hot"]["moves"] == [
+        tuple(move) for move in golden["hot"]["moves"]
+    ]
+    assert actual["hot"]["migrations"] == golden["hot"]["migrations"]
+    assert actual["hot"]["converged"] == golden["hot"]["converged"]
+    assert actual["hot"]["time_to_converge_ms"] == pytest.approx(
+        golden["hot"]["time_to_converge_ms"], rel=REL_TOL
+    )
+
+
+def regen():
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = compute()
+    GOLDEN_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if len(sys.argv) > 1 and sys.argv[1] == "regen":
+        regen()
+    else:
+        print(f"usage: PYTHONPATH=src python {__file__} regen")

@@ -1,0 +1,87 @@
+"""Supervisor-track instants for cluster membership changes.
+
+The ChainSupervisor traces its *decisions*, but topology edits made
+directly — by tests, fleet migrations, or manual operations — used to
+leave no mark in Perfetto exports.  ``Cluster`` now emits a
+``membership`` instant on the ``supervisor`` track for every eviction,
+join, and promotion, carrying the post-change chain order so an export
+reconstructs the full membership history without the supervisor loop.
+"""
+
+from repro.cluster.topology import replicated_chain
+from repro.faults.scenario import chaos_config_factory
+from repro.obs import capture
+from repro.sim import Engine
+
+
+def membership_instants(tracer):
+    return tracer.instants(track="supervisor", name="membership")
+
+
+def build_chain(secondaries=2, seed=21):
+    engine = Engine()
+    cluster = replicated_chain(engine, chaos_config_factory(seed),
+                               secondaries=secondaries)
+    return engine, cluster
+
+
+def test_evict_join_and_promote_each_emit_one_instant():
+    with capture():
+        engine, cluster = build_chain()
+        tracer = engine.tracer
+        assert membership_instants(tracer) == []
+
+        # Evict: crash the middle secondary and splice around it.
+        cluster.servers["secondary-1"].crash()
+        cluster.reconfigure_around("secondary-1")
+        (evict,) = membership_instants(tracer)
+        assert evict.args["action"] == "evict"
+        assert evict.args["site"] == "secondary-1"
+        assert evict.args["upstream"] == "primary"
+        assert evict.args["successor"] == "secondary-2"
+        assert evict.args["order"] == "primary,secondary-2"
+
+        # Join: reboot it and reattach at the tail of the chain.
+        cluster.servers["secondary-1"].rejoin()
+        cluster.reattach("secondary-1")
+        join = membership_instants(tracer)[-1]
+        assert join.args["action"] == "join"
+        assert join.args["site"] == "secondary-1"
+        assert join.args["tail"] == "secondary-2"
+        assert join.args["order"] == "primary,secondary-2,secondary-1"
+
+        # Promote: fail over to the old tail.
+        cluster.promote("secondary-2")
+        engine.run(until=engine.now + 200_000.0)
+        promote = membership_instants(tracer)[-1]
+        assert promote.args["action"] == "promote"
+        assert promote.args["site"] == "secondary-2"
+        assert promote.args["demoted"] == "primary"
+
+        actions = [i.args["action"] for i in membership_instants(tracer)]
+        assert actions == ["evict", "join", "promote"]
+        # Instants carry monotone sim timestamps, so an export replays
+        # the membership history in order.
+        times = [i.ts_ns for i in membership_instants(tracer)]
+        assert times == sorted(times)
+
+
+def test_membership_instants_are_silent_without_a_tracer():
+    # No capture(): the engine keeps the shared null tracer, and the
+    # membership hook must not blow up (or allocate) on it.
+    engine, cluster = build_chain()
+    cluster.servers["secondary-1"].crash()
+    cluster.reconfigure_around("secondary-1")
+    assert cluster.order == ["primary", "secondary-2"]
+
+
+def test_eviction_of_the_tail_records_the_missing_successor():
+    with capture():
+        engine, cluster = build_chain()
+        tracer = engine.tracer
+        cluster.servers["secondary-2"].crash()
+        cluster.reconfigure_around("secondary-2")
+        (evict,) = membership_instants(tracer)
+        assert evict.args["action"] == "evict"
+        assert evict.args["successor"] == ""
+        assert evict.args["order"] == "primary,secondary-1"
