@@ -12,6 +12,7 @@ from repro.bench.parallel import run_cells
 from repro.bench.chaos import load_plan, run_chaos_bench
 from repro.bench.fleet import run_fleet_bench
 from repro.bench.kernel import run_kernel_bench
+from repro.bench.nand import run_nand_bench
 from repro.bench.fig09_local_logging import run_fig09
 from repro.bench.fig10_write_combining import run_fig10
 from repro.bench.fig11_queue_size import run_fig11
@@ -26,6 +27,7 @@ __all__ = [
     "run_chaos_bench",
     "run_fleet_bench",
     "run_kernel_bench",
+    "run_nand_bench",
     "run_fig09",
     "run_fig10",
     "run_fig11",

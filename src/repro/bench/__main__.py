@@ -9,6 +9,7 @@ Usage::
     python -m repro.bench fig13 [--periods 0.4 0.8 1.2 1.6] [--writes 200]
     python -m repro.bench all
     python -m repro.bench kernel [--events 200000] [--repeat 3]
+    python -m repro.bench nand [--reads 96] [--aged-reads 400] [--pages 32]
     python -m repro.bench chaos [--seed 7] [--faults plan.json]
     python -m repro.bench check [--scenario chain --budget 200 ...]
     python -m repro.bench health [--scenario failover|overload|all] [--seed 7]
@@ -44,6 +45,7 @@ from repro.bench import (
     run_fig13,
     run_fleet_bench,
     run_kernel_bench,
+    run_nand_bench,
 )
 from repro.sim.units import KIB
 
@@ -102,6 +104,7 @@ def _fig12(args):
     rows = run_fig12(
         duration_ns=getattr(args, "duration_ms", 40) * 1e6,
         jobs=_jobs(args),
+        backend=getattr(args, "backend", "ideal"),
     )
     print(format_table(rows, (
         ("mode", "mode", ""),
@@ -144,6 +147,39 @@ def _kernel(args):
         ("speedup_vs_seed", "speedup", ".2f"),
     ), title="Kernel microbenchmark — events/sec vs the seed engine"))
     return rows
+
+
+def _nand(args):
+    result = run_nand_bench(
+        reads=getattr(args, "reads", 96),
+        aged_reads=getattr(args, "aged_reads", 400),
+        pages=getattr(args, "pages", 32),
+    )
+    print(format_table(result["suspend"], (
+        ("cell", "cell", ""),
+        ("reads", "reads", "d"),
+        ("read_p50_us", "p50 [us]", ".1f"),
+        ("read_p99_us", "p99 [us]", ".1f"),
+        ("suspends", "suspends", "d"),
+        ("resumes", "resumes", "d"),
+    ), title="NAND — read tail vs erase suspend/resume"))
+    print()
+    print(format_table(result["aged"], (
+        ("cell", "cell", ""),
+        ("reads", "reads", "d"),
+        ("read_retries", "retries", "d"),
+        ("read_retirements", "retirements", "d"),
+        ("blocks_retired", "blocks retired", "d"),
+        ("ecc_errors", "ECC errors", "d"),
+    ), title="NAND — aging, retry-then-retire"))
+    print()
+    print(format_table(result["pipeline"], (
+        ("cell", "cell", ""),
+        ("pages", "pages", "d"),
+        ("per_page_us", "per page [us]", ".1f"),
+        ("throughput_mb_per_s", "throughput [MB/s]", ".1f"),
+    ), title="NAND — cache-program / multi-plane pipelining"))
+    return result
 
 
 def _chaos(args):
@@ -383,6 +419,10 @@ def build_parser():
         "fig12", help="opportunistic destaging under contention")
     fig12.add_argument("--duration-ms", type=float, default=40,
                        help="simulated milliseconds per cell")
+    fig12.add_argument("--backend", choices=["ideal", "realistic"],
+                       default="ideal",
+                       help="flash model: idealized array or the NAND "
+                            "realism pack (planes, cache program, suspend)")
 
     fig13 = subparsers.add_parser(
         "fig13", help="shadow-counter freshness vs update period")
@@ -400,6 +440,15 @@ def build_parser():
                         help="events per workload run")
     kernel.add_argument("--repeat", type=int, default=3,
                         help="runs per engine; best rate is kept")
+
+    nand = subparsers.add_parser(
+        "nand", help="NAND realism: erase suspend tail, aging, pipelining")
+    nand.add_argument("--reads", type=int, default=96,
+                      help="paced reads in the suspend cell")
+    nand.add_argument("--aged-reads", type=int, default=400,
+                      help="reads per aging variant")
+    nand.add_argument("--pages", type=int, default=32,
+                      help="pages in the pipelining write stream")
 
     chaos = subparsers.add_parser(
         "chaos", help="seeded fault-injection run with durability oracles")
@@ -470,8 +519,8 @@ def build_parser():
     trace.add_argument("--duration-ms", type=float, default=None,
                        help="override the scenario's time budget")
 
-    for sub in (fig09, fig10, fig11, fig12, fig13, kernel, chaos, health,
-                fleet, subparsers.choices["all"]):
+    for sub in (fig09, fig10, fig11, fig12, fig13, kernel, nand, chaos,
+                health, fleet, subparsers.choices["all"]):
         _add_common_flags(sub)
     return parser
 
@@ -531,8 +580,8 @@ def main(argv=None):
         if json_path:
             _write_json(json_path, "all", all_rows)
     else:
-        extras = {"kernel": _kernel, "chaos": _chaos, "trace": _trace,
-                  "health": _health, "fleet": _fleet}
+        extras = {"kernel": _kernel, "nand": _nand, "chaos": _chaos,
+                  "trace": _trace, "health": _health, "fleet": _fleet}
         runner = extras.get(args.figure) or FIGURES[args.figure]
         rows = _capturing(trace_path, args.figure, lambda: runner(args))
         if json_path:

@@ -13,7 +13,7 @@ figure's y-axis (achieved bandwidth).
 """
 
 from repro.bench.parallel import run_cells
-from repro.bench.stacks import bench_ssd_config
+from repro.bench.stacks import bench_ssd_config, nand_realistic_config
 from repro.sim import Engine
 from repro.ssd.device import ConventionalSsd
 from repro.ssd.scheduler import SchedulingMode, Source, WriteRequest
@@ -28,10 +28,21 @@ MODES = {
 
 
 def run_one(mode_name, fast_fraction, conventional_fraction=0.5,
-            duration_ns=40e6):
-    """One contention cell; returns achieved bandwidth per source."""
+            duration_ns=40e6, backend="ideal"):
+    """One contention cell; returns achieved bandwidth per source.
+
+    ``backend`` picks the flash model: ``"ideal"`` is the classic
+    one-op-per-die array; ``"realistic"`` enables the NAND realism pack
+    (two planes, cache program, multi-plane batching, erase suspend) —
+    the priority-mode ordering must survive either way.
+    """
     engine = Engine()
-    config = bench_ssd_config(scheduling_mode=MODES[mode_name])
+    if backend == "realistic":
+        config = nand_realistic_config(scheduling_mode=MODES[mode_name])
+    elif backend == "ideal":
+        config = bench_ssd_config(scheduling_mode=MODES[mode_name])
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
     ssd = ConventionalSsd(engine, config).start()
     page = ssd.block_bytes
     capacity = ssd.write_bandwidth_ceiling()  # bytes/ns
@@ -67,6 +78,7 @@ def run_one(mode_name, fast_fraction, conventional_fraction=0.5,
     fast_achieved = ssd.scheduler.bytes_written[Source.DESTAGE] / elapsed
     return {
         "mode": mode_name,
+        "backend": backend,
         "fast_offered_pct": fast_fraction * 100,
         "conv_offered_pct": conventional_fraction * 100,
         "conv_achieved_pct": 100 * conv_achieved / capacity,
@@ -76,18 +88,20 @@ def run_one(mode_name, fast_fraction, conventional_fraction=0.5,
 
 
 def cells(modes=("neutral", "conventional-priority"),
-          fast_fractions=FAST_FRACTIONS, duration_ns=40e6):
+          fast_fractions=FAST_FRACTIONS, duration_ns=40e6, backend="ideal"):
     """The figure's independent cells, in output order."""
     return [
         {"mode_name": mode_name, "fast_fraction": fraction,
-         "duration_ns": duration_ns}
+         "duration_ns": duration_ns, "backend": backend}
         for mode_name in modes
         for fraction in fast_fractions
     ]
 
 
 def run_fig12(modes=("neutral", "conventional-priority"),
-              fast_fractions=FAST_FRACTIONS, duration_ns=40e6, jobs=None):
+              fast_fractions=FAST_FRACTIONS, duration_ns=40e6, jobs=None,
+              backend="ideal"):
     return run_cells(
-        run_one, cells(modes, fast_fractions, duration_ns), jobs=jobs
+        run_one, cells(modes, fast_fractions, duration_ns, backend),
+        jobs=jobs
     )

@@ -1,0 +1,215 @@
+"""NAND realism bench: erase suspend/resume, aging, and write pipelining.
+
+Three cells, each isolating one mechanism of the per-die resource
+manager (:mod:`repro.nand.dies`):
+
+* **suspend** — paced host reads against a die running back-to-back GC
+  erases, with erase suspend/resume off and on.  The point of the
+  feature is the read tail: without suspension a read can sit behind a
+  full ~3 ms tBERS; with it the read pays the suspend latency plus its
+  own service time.
+* **aged** — the same read workload against a young device and one
+  pre-aged past its rated endurance, with a wear-aware ECC model
+  attached.  Aged blocks fail reads more, so the FTL's
+  retry-then-retire path (read retries, then :class:`ReadRetired`)
+  engages visibly on the aged variant and stays dormant on the young
+  one.
+* **pipeline** — a sequential one-die write stream under four issue
+  modes (plain, cache program, multi-plane, cache + multi-plane),
+  showing the per-page cost move from ``transfer + tPROG`` toward
+  ``max(transfer, tPROG) / planes``.
+"""
+
+from repro.ftl.mapping import PageMappingFtl, ReadRetired
+from repro.nand.channel import Channel
+from repro.nand.dies import DieQos
+from repro.nand.ecc import EccFaultModel, WearCurve
+from repro.nand.geometry import Geometry
+from repro.nand.timing import NandTiming
+from repro.sim import Engine
+from repro.sim.units import KIB, MICROS
+
+
+def _percentile(values, fraction):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+# -- cell 1: erase suspend/resume vs read tail -------------------------------------
+
+
+def run_suspend_cell(suspend, reads=96, read_period_ns=500_000.0):
+    """Read p50/p99 under continuous GC erase load, suspend off or on."""
+    engine = Engine()
+    geometry = Geometry(channels=1, ways_per_channel=1, blocks_per_die=8,
+                        pages_per_block=32, page_bytes=4 * KIB)
+    timing = NandTiming()
+    qos = DieQos(suspend_for_reads=suspend, suspendable_classes=("gc",),
+                 max_suspends_per_erase=8)
+    channel = Channel(engine, geometry, timing, channel_id=0, qos=qos)
+
+    def seed():
+        for page in range(geometry.pages_per_block):
+            yield channel.program(0, 0, page, f"page-{page}",
+                                  geometry.page_bytes)
+
+    engine.process(seed(), name="seed")
+    engine.run()
+
+    stop = {"done": False}
+
+    def erase_churn():
+        # GC hammering one spare block: the die is mid-erase essentially
+        # always, so every read arrives against a suspendable erase.
+        while not stop["done"]:
+            yield channel.erase(0, 1, op_class="gc")
+
+    latencies = []
+
+    def reader():
+        for i in range(reads):
+            started = engine.now
+            yield channel.read(0, 0, i % geometry.pages_per_block)
+            latencies.append(engine.now - started)
+            # Deterministic jitter: without it the reads lock into the
+            # erase period and every latency is identical, which makes
+            # the percentiles degenerate.
+            yield engine.timeout(read_period_ns * (0.5 + (i % 9) / 8.0))
+        stop["done"] = True
+
+    engine.process(erase_churn(), name="erase-churn")
+    engine.process(reader(), name="reader")
+    engine.run()
+    snapshot = channel.resources.snapshot()
+    return {
+        "cell": "suspend-on" if suspend else "suspend-off",
+        "reads": len(latencies),
+        "read_p50_us": _percentile(latencies, 0.50) / MICROS,
+        "read_p99_us": _percentile(latencies, 0.99) / MICROS,
+        "read_mean_us": sum(latencies) / len(latencies) / MICROS,
+        "suspends": snapshot["suspends"],
+        "resumes": snapshot["resumes"],
+    }
+
+
+# -- cell 2: wear-driven ECC failures and retire rate ------------------------------
+
+#: Deliberately compressed wear curve: an end-of-life block fails about
+#: half its reads, so a few hundred reads exercise retry *and* retire
+#: without simulating billions of operations.
+AGED_CURVE = dict(base_ber=1e-7, max_ber=1e-4, endurance=1_000,
+                  disturb_reads=50_000, uncorrectable_scale=5_000.0)
+
+
+def run_aged_cell(aged, reads=400, lbas=32, seed=11):
+    """Retry/retire counters for a young vs pre-aged device."""
+    engine = Engine()
+    geometry = Geometry(channels=1, ways_per_channel=1, blocks_per_die=16,
+                        pages_per_block=16, page_bytes=4 * KIB)
+    fault = EccFaultModel(seed=seed, wear_curve=WearCurve(**AGED_CURVE))
+    channel = Channel(engine, geometry, NandTiming(), channel_id=0,
+                      fault_model=fault)
+    ftl = PageMappingFtl(engine, [channel], geometry, read_retry_limit=3)
+
+    def fill():
+        for lba in range(lbas):
+            yield ftl.write(lba, f"payload-{lba}", geometry.page_bytes)
+
+    engine.process(fill(), name="fill")
+    engine.run()
+    if aged:
+        # Age the whole die past its rated endurance in one stroke — the
+        # bench measures the ECC/FTL response to wear, not the years of
+        # churn that produce it.
+        for block in channel.die(0).blocks:
+            block.erase_count = 1_200
+
+    outcomes = {"ok": 0, "retired": 0}
+
+    def hammer():
+        for i in range(reads):
+            try:
+                yield ftl.read(i % lbas)
+            except ReadRetired:
+                outcomes["retired"] += 1
+            else:
+                outcomes["ok"] += 1
+
+    engine.process(hammer(), name="hammer")
+    engine.run()
+    return {
+        "cell": "aged" if aged else "young",
+        "reads": reads,
+        "reads_ok": outcomes["ok"],
+        "read_retries": ftl.read_retries,
+        "read_retirements": ftl.read_retirements,
+        "blocks_retired": len(ftl.allocator.bad_blocks),
+        "ecc_errors": fault.errors_raised,
+    }
+
+
+# -- cell 3: cache-program and multi-plane write pipelining ------------------------
+
+PIPELINE_MODES = ("plain", "cache", "multiplane", "cache+multiplane")
+
+
+def run_pipeline_cell(mode, pages=32):
+    """Sequential one-die write stream; returns per-page cost and rate.
+
+    A slow bus (transfer comparable to tPROG) makes the pipelining
+    visible: cache program hides the transfer behind the previous cell
+    phase, multi-plane halves the cell phases, and together they
+    approach ``max(transfer, tPROG)`` per two pages.
+    """
+    engine = Engine()
+    geometry = Geometry(channels=1, ways_per_channel=1, blocks_per_die=8,
+                        pages_per_block=32, page_bytes=16 * KIB,
+                        planes_per_die=2)
+    timing = NandTiming(bus_bandwidth=0.05)  # 327 us transfer vs 600 us tPROG
+    channel = Channel(engine, geometry, timing, channel_id=0)
+    page_bytes = geometry.page_bytes
+    events = []
+    if "multiplane" in mode:
+        for page in range(pages // 2):
+            ops = [(0, page, f"a-{page}", page_bytes),
+                   (1, page, f"b-{page}", page_bytes)]
+            events.append(channel.program_multi(0, ops,
+                                                cache="cache" in mode))
+    else:
+        for page in range(pages):
+            events.append(channel.program(0, 0, page, f"p-{page}",
+                                          page_bytes, cache=mode == "cache"))
+
+    def waiter():
+        for event in events:
+            yield event
+
+    engine.process(waiter(), name="waiter")
+    engine.run()
+    elapsed = engine.now
+    return {
+        "cell": mode,
+        "pages": pages,
+        "total_us": elapsed / MICROS,
+        "per_page_us": elapsed / pages / MICROS,
+        "throughput_mb_per_s": pages * page_bytes / elapsed * 1e3,
+    }
+
+
+# -- assembly ----------------------------------------------------------------------
+
+
+def run_nand_bench(reads=96, aged_reads=400, pages=32):
+    """All three cells; returns ``{"suspend": [...], "aged": [...],
+    "pipeline": [...]}``."""
+    return {
+        "suspend": [run_suspend_cell(False, reads=reads),
+                    run_suspend_cell(True, reads=reads)],
+        "aged": [run_aged_cell(False, reads=aged_reads),
+                 run_aged_cell(True, reads=aged_reads)],
+        "pipeline": [run_pipeline_cell(mode, pages=pages)
+                     for mode in PIPELINE_MODES],
+    }

@@ -46,6 +46,26 @@ def bench_ssd_config(**overrides):
     return SsdConfig(**base)
 
 
+def nand_realistic_config(**overrides):
+    """:func:`bench_ssd_config` with the NAND realism pack switched on.
+
+    Two planes per die, cache-program pipelining, multi-plane write
+    batching, and erase suspend/resume for GC erases — the backend the
+    fig12-on-realistic-NAND variant and the nand bench run against.
+    """
+    from repro.nand.dies import DieQos
+
+    base = dict(
+        geometry=Geometry(channels=8, ways_per_channel=8, blocks_per_die=48,
+                          pages_per_block=64, page_bytes=16 * KIB,
+                          planes_per_die=2),
+        qos=DieQos(suspend_for_reads=True, suspendable_classes=("gc",),
+                   multi_plane_writes=True, cache_program=True),
+    )
+    base.update(overrides)
+    return bench_ssd_config(**base)
+
+
 def build_villars(engine, kind="sram", queue_bytes=32 * KIB, **overrides):
     """A started Villars device with bench defaults."""
     factory = villars_sram if kind == "sram" else villars_dram

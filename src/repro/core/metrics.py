@@ -9,6 +9,15 @@ and safe to take at any simulation instant — it never advances time.
 from repro.ssd.scheduler import Source
 
 
+def _nand_counters(channels):
+    """Die-resource-manager counters summed across a device's channels."""
+    totals = {}
+    for channel in channels:
+        for key, value in channel.resources.snapshot().items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
 def device_snapshot(device):
     """A structured metrics snapshot of one :class:`XssdDevice`."""
     cmb = device.cmb
@@ -74,6 +83,7 @@ def device_snapshot(device):
                 "collections": conventional.gc.collections,
                 "pages_migrated": conventional.gc.pages_migrated,
             },
+            "nand": _nand_counters(conventional.channels),
             "buffer": {
                 "used_bytes": conventional.data_buffer.used_bytes,
                 "hits": conventional.data_buffer.hits,

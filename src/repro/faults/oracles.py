@@ -235,11 +235,12 @@ def check_ftl_integrity(device):
                     f"{(channel, way, block)} still in the free pool"
                 )
     for die, cursor in ftl.allocator._cursors.items():
-        if (die[0], die[1], cursor.block) in bad:
-            violations.append(
-                f"ftl-integrity: open placement cursor on retired block "
-                f"{(die[0], die[1], cursor.block)}"
-            )
+        for block in cursor.blocks:
+            if (die[0], die[1], block) in bad:
+                violations.append(
+                    f"ftl-integrity: open placement cursor on retired block "
+                    f"{(die[0], die[1], block)}"
+                )
     return violations
 
 

@@ -70,20 +70,55 @@ def chaos_config_factory(seed):
     return factory
 
 
+def chaos_realistic_nand_config_factory(seed):
+    """Like :func:`chaos_config_factory` with the NAND realism pack on.
+
+    Two planes per die plus a fully enabled :class:`DieQos` (erase
+    suspend/resume, cache program, multi-plane batching) — used by the
+    determinism tests to show chaos replays stay byte-identical with the
+    die resource manager exercising every feature.
+    """
+    from repro.nand.dies import DieQos
+
+    inner = chaos_config_factory(seed)
+
+    def factory():
+        config = inner()
+        ssd = config.ssd
+        ssd.geometry = Geometry(
+            channels=ssd.geometry.channels,
+            ways_per_channel=ssd.geometry.ways_per_channel,
+            blocks_per_die=ssd.geometry.blocks_per_die,
+            pages_per_block=ssd.geometry.pages_per_block,
+            page_bytes=ssd.geometry.page_bytes,
+            planes_per_die=2,
+        )
+        ssd.qos = DieQos(suspend_for_reads=True,
+                         suspendable_classes=("gc", "host"),
+                         multi_plane_writes=True, cache_program=True)
+        return config
+
+    return factory
+
+
 def run_chaos(seed, secondaries=2, duration_ns=8_000_000.0, plan=None,
               fault_events=6, transactions=160, group_commit_bytes=2048,
-              key_space=8, collect_snapshots=False):
+              key_space=8, collect_snapshots=False, config_factory=None):
     """Run one seeded chaos scenario; returns a JSON-able result dict.
 
     ``plan`` overrides the seed-derived schedule (e.g. loaded from a
     ``--faults`` file); otherwise :meth:`FaultPlan.random` draws one.
-    The returned dict carries the plan, the injector's fault log, the
-    primary's crash report, per-oracle violation lists, and an ``ok``
-    flag — identical across runs with identical inputs.
+    ``config_factory`` overrides the default per-server config factory
+    (e.g. :func:`chaos_realistic_nand_config_factory`).  The returned
+    dict carries the plan, the injector's fault log, the primary's crash
+    report, per-oracle violation lists, and an ``ok`` flag — identical
+    across runs with identical inputs.
     """
     engine = Engine()
+    if config_factory is None:
+        config_factory = chaos_config_factory(seed)
     cluster = replicated_chain(
-        engine, chaos_config_factory(seed), secondaries=secondaries,
+        engine, config_factory, secondaries=secondaries,
     )
     secondary_names = [s.name for s in cluster.secondaries()]
     recorders = {

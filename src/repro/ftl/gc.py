@@ -67,8 +67,9 @@ class GarbageCollector:
         best = None
         best_live = None
         open_blocks = {
-            (cursor.channel, cursor.way, cursor.block)
+            (cursor.channel, cursor.way, block)
             for cursor in self.ftl.allocator._cursors.values()
+            for block in cursor.blocks
         }
         for channel_id in range(geometry.channels):
             channel = self.ftl.channels[channel_id]
@@ -100,10 +101,13 @@ class GarbageCollector:
         for lba in self.ftl.table.live_lbas_in(channel_id, way, block):
             address = self.ftl.table.lookup(lba)
             page = yield channel.read(address.way, address.block, address.page)
-            yield self.ftl.write(lba, page.payload, page.nbytes)
+            yield self.ftl.write(lba, page.payload, page.nbytes,
+                                 op_class="gc")
             self.pages_migrated += 1
             migrated += 1
-        yield channel.erase(way, block)
+        # GC erases carry their class so the QoS policy can let host
+        # reads suspend them (see repro/nand/dies.py).
+        yield channel.erase(way, block, op_class="gc")
         self.ftl.allocator.release(channel_id, way, block)
         self.collections += 1
         if token is not None:

@@ -125,19 +125,42 @@ class PageMappingFtl:
         """
         self._space_low_callbacks.append(callback)
 
-    def write(self, lba, payload, nbytes=None):
-        """Persist ``payload`` at ``lba``; event value is the physical address."""
+    def write(self, lba, payload, nbytes=None, op_class=None):
+        """Persist ``payload`` at ``lba``; event value is the physical address.
+
+        ``op_class`` tags the program for QoS accounting ("destage",
+        "conventional", "gc"); cache-program pipelining applies when the
+        shared :class:`~repro.nand.dies.DieQos` enables it.
+        """
         return self.engine.process(
-            self._write_proc(lba, payload, nbytes), name=f"ftl-write {lba}"
+            self._write_proc(lba, payload, nbytes, op_class),
+            name=f"ftl-write {lba}"
+        )
+
+    def write_striped(self, items, op_class=None):
+        """Persist several pages as one multi-plane program when possible.
+
+        ``items`` is ``[(lba, payload, nbytes), ...]``; event value is the
+        list of physical addresses in item order.  Falls back to single-
+        plane writes when no aligned stripe is open.
+        """
+        return self.engine.process(
+            self._write_striped_proc(list(items), op_class),
+            name=f"ftl-mwrite x{len(items)}"
         )
 
     def read(self, lba):
         """Read ``lba``; event value is the stored payload."""
         return self.engine.process(self._read_proc(lba), name=f"ftl-read {lba}")
 
+    @property
+    def qos(self):
+        """The die QoS policy shared by this FTL's channels."""
+        return self.channels[0].resources.qos
+
     # -- internals ---------------------------------------------------------------
 
-    def _write_proc(self, lba, payload, nbytes):
+    def _write_proc(self, lba, payload, nbytes, op_class=None):
         while True:
             channel_id, way, block, page = self.allocator.place()
             fault = self.program_fault_model
@@ -153,8 +176,10 @@ class PageMappingFtl:
                 self.allocator.mark_bad(channel_id, way, block)
                 self.allocator.abandon_open_block(channel_id, way)
                 continue
-            yield self.channels[channel_id].program(
-                way, block, page, payload, nbytes
+            channel = self.channels[channel_id]
+            yield channel.program(
+                way, block, page, payload, nbytes,
+                cache=channel.resources.qos.cache_program,
             )
             address = PhysicalPageAddress(channel_id, way, block, page)
             self.table.bind(lba, address)
@@ -163,6 +188,57 @@ class PageMappingFtl:
                 for callback in self._space_low_callbacks:
                     callback()
             return address
+
+    def _write_striped_proc(self, items, op_class):
+        while True:
+            stripe = self.allocator.place_stripe(len(items))
+            if stripe is None:
+                # No aligned stripe open right now: degrade to the
+                # single-plane path per item.
+                addresses = []
+                for lba, payload, nbytes in items:
+                    addresses.append((yield self.write(
+                        lba, payload, nbytes, op_class=op_class
+                    )))
+                return addresses
+            channel_id, way = stripe[0][0], stripe[0][1]
+            fault = self.program_fault_model
+            if fault is not None:
+                failed = [
+                    block for _ch, _way, block, _page in stripe
+                    if fault.should_fail(channel_id, way, block)
+                ]
+                if failed:
+                    self.program_failures += len(failed)
+                    tracer = self.engine.tracer
+                    for block in failed:
+                        if tracer.enabled:
+                            tracer.instant(self.name, "program-failure",
+                                           channel=channel_id, way=way,
+                                           block=block)
+                        self.allocator.mark_bad(channel_id, way, block)
+                    self.allocator.abandon_open_block(channel_id, way)
+                    continue
+            channel = self.channels[channel_id]
+            ops = [
+                (block, page, payload, nbytes)
+                for (_ch, _way, block, page), (_lba, payload, nbytes)
+                in zip(stripe, items)
+            ]
+            yield channel.program_multi(
+                way, ops, cache=channel.resources.qos.cache_program
+            )
+            addresses = []
+            for (_ch, _way, block, page), (lba, _payload, _nbytes) \
+                    in zip(stripe, items):
+                address = PhysicalPageAddress(channel_id, way, block, page)
+                self.table.bind(lba, address)
+                addresses.append(address)
+            self.writes_served += len(items)
+            if self._space_low_callbacks and self.allocator.needs_gc():
+                for callback in self._space_low_callbacks:
+                    callback()
+            return addresses
 
     def _read_proc(self, lba):
         address = self.table.lookup(lba)

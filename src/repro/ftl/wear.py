@@ -62,18 +62,24 @@ class WearLeveler:
             raise RuntimeError("wear leveler already installed")
         self._installed = True
         allocator = self.ftl.allocator
-        self._original_release = allocator.release
+        previous = allocator.release
+        self._original_release = previous
         channels = self.ftl.channels
 
         def wear_aware_release(channel, way, block):
-            if (channel, way, block) in allocator.bad_blocks:
-                return
-            erases = channels[channel].die(way).blocks[block].erase_count
+            # Compose with whatever ``release`` is already installed
+            # (the allocator's own, or another hook such as a fault
+            # injector's): run it first, then reorder the free list.
+            previous(channel, way, block)
             free = allocator._free[(channel, way)]
-            keyed = [
-                channels[channel].die(way).blocks[b].erase_count
-                for b in free
-            ]
+            if block not in free:
+                # The inner release dropped the block (bad block, or a
+                # hook swallowed it) — nothing to reorder.
+                return
+            free.remove(block)
+            die_blocks = channels[channel].die(way).blocks
+            erases = die_blocks[block].erase_count
+            keyed = [die_blocks[b].erase_count for b in free]
             index = bisect.bisect_right(keyed, erases)
             free.insert(index, block)
 

@@ -16,6 +16,8 @@ Parameters default to the Cosmos+ OpenSSD platform the paper prototyped on.
 """
 
 from repro.nand.channel import Channel
+from repro.nand.dies import DieQos, DieResourceManager
+from repro.nand.ecc import EccFaultModel, ProgramFaultModel, WearCurve
 from repro.nand.errors import (
     BadBlockError,
     NandError,
@@ -35,6 +37,11 @@ __all__ = [
     "Block",
     "Page",
     "Channel",
+    "DieQos",
+    "DieResourceManager",
+    "EccFaultModel",
+    "ProgramFaultModel",
+    "WearCurve",
     "NandError",
     "BadBlockError",
     "UncorrectableError",

@@ -10,19 +10,70 @@ from repro.nand.errors import UncorrectableError
 from repro.sim.rng import derive
 
 
+class WearCurve:
+    """Raw bit error rate as a function of block wear and read disturb.
+
+    Real devices see RBERs around 1e-7 (fresh) to 1e-4 (end of life):
+    program/erase cycling degrades the tunnel oxide, and every read of a
+    block disturbs its unread cells until the next erase resets them.
+    The curve is deliberately simple — a power law in the erase-count
+    fraction of rated endurance plus a linear read-disturb term, capped
+    at ``max_ber`` — because the *shape* (aged blocks fail reads more,
+    hammered blocks fail until erased) is what the retry-then-retire
+    path and the aging bench measure.
+
+    ``uncorrectable_scale`` converts a raw BER into the per-read
+    probability that the codeword exceeds the ECC correction budget.
+    The default keeps fresh blocks effectively error-free while an
+    end-of-life block fails a few percent of reads; tests and the aged
+    bench crank it instead of simulating trillions of reads.
+    """
+
+    def __init__(self, base_ber=1e-7, max_ber=1e-4, endurance=3_000,
+                 disturb_reads=100_000, exponent=2.0,
+                 uncorrectable_scale=300.0):
+        if not 0 < base_ber <= max_ber:
+            raise ValueError("need 0 < base_ber <= max_ber")
+        if endurance < 1 or disturb_reads < 1:
+            raise ValueError("endurance and disturb_reads must be >= 1")
+        self.base_ber = base_ber
+        self.max_ber = max_ber
+        self.endurance = endurance
+        self.disturb_reads = disturb_reads
+        self.exponent = exponent
+        self.uncorrectable_scale = uncorrectable_scale
+
+    def ber(self, erase_count, read_count):
+        """Raw bit error rate for a block with this wear state."""
+        wear = min(1.0, erase_count / self.endurance) ** self.exponent
+        disturb = min(1.0, read_count / self.disturb_reads)
+        degraded = min(1.0, wear + disturb)
+        return self.base_ber + (self.max_ber - self.base_ber) * degraded
+
+    def uncorrectable_probability(self, erase_count, read_count):
+        """Per-read probability the ECC budget is exceeded."""
+        return min(
+            1.0, self.ber(erase_count, read_count) * self.uncorrectable_scale
+        )
+
+
 class EccFaultModel:
     """Probabilistic read-error injector with deterministic seeding.
 
-    ``raw_bit_error_rate`` maps to a per-read probability that the codeword
-    exceeds the ECC's correction budget.  Real devices see RBERs around
-    1e-7..1e-4 depending on wear; for fault-injection tests we crank the
-    probability up instead of simulating trillions of reads.
+    Without a ``wear_curve`` the per-read uncorrectable probability is
+    the constant ``uncorrectable_probability``.  With one, the
+    probability is a function of the target block's erase count and
+    read-disturb count (the channel passes both), so aging devices
+    actually degrade and the FTL's retry-then-retire path fires
+    organically on worn blocks.
     """
 
-    def __init__(self, seed=0, uncorrectable_probability=0.0):
+    def __init__(self, seed=0, uncorrectable_probability=0.0,
+                 wear_curve=None):
         if not 0.0 <= uncorrectable_probability <= 1.0:
             raise ValueError("probability outside [0, 1]")
         self.probability = uncorrectable_probability
+        self.wear_curve = wear_curve
         self._rng = derive(seed, "ecc")
         self.reads_checked = 0
         self.errors_raised = 0
@@ -49,8 +100,14 @@ class EccFaultModel:
             raise ValueError("count must be >= 0")
         self._forced_next += count
 
-    def check_read(self, channel, way, block, page):
-        """Called by the channel on every read's cell phase."""
+    def check_read(self, channel, way, block, page, erase_count=0,
+                   read_count=0):
+        """Called by the channel on every read's cell phase.
+
+        ``erase_count`` and ``read_count`` describe the target block's
+        wear state; they only matter when a :class:`WearCurve` is
+        attached.
+        """
         self.reads_checked += 1
         key = (channel, way, block, page)
         if self._forced_next:
@@ -60,9 +117,18 @@ class EccFaultModel:
         if key in self._forced:
             self.errors_raised += 1
             raise UncorrectableError(f"forced error at {key}")
-        if self.probability and self._rng.random() < self.probability:
+        if self.wear_curve is not None:
+            probability = self.wear_curve.uncorrectable_probability(
+                erase_count, read_count
+            )
+        else:
+            probability = self.probability
+        if probability and self._rng.random() < probability:
             self.errors_raised += 1
-            raise UncorrectableError(f"uncorrectable read at {key}")
+            raise UncorrectableError(
+                f"uncorrectable read at {key} "
+                f"(wear {erase_count} erases, {read_count} reads)"
+            )
 
 
 class ProgramFaultModel:

@@ -45,6 +45,9 @@ class Block:
         self.pages = [Page() for _ in range(pages_per_block)]
         self.next_page = 0  # NAND requires ascending program order
         self.erase_count = 0
+        # Reads since the last erase: read disturb accumulates on the
+        # block's cells and is cleared by erasing (see repro/nand/ecc.py).
+        self.read_count = 0
         self.is_bad = False
 
     def mark_bad(self):
@@ -64,6 +67,7 @@ class Block:
     def read(self, page_number):
         if self.is_bad:
             raise BadBlockError("block is marked bad")
+        self.read_count += 1
         return self.pages[page_number]
 
     def erase(self):
@@ -73,6 +77,7 @@ class Block:
             page.erase()
         self.next_page = 0
         self.erase_count += 1
+        self.read_count = 0
 
     @property
     def is_full(self):

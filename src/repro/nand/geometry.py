@@ -32,6 +32,11 @@ class Geometry:
     blocks_per_die: int = 64
     pages_per_block: int = 256
     page_bytes: int = 16 * KIB
+    #: Planes per die.  Blocks interleave across planes (block ``b`` lives
+    #: on plane ``b % planes_per_die``); multi-plane operations address one
+    #: aligned block per plane.  The default of 1 keeps the idealized
+    #: single-plane behavior; realistic configs use 2 or 4.
+    planes_per_die: int = 1
 
     def __post_init__(self):
         for name in (
@@ -40,9 +45,14 @@ class Geometry:
             "blocks_per_die",
             "pages_per_block",
             "page_bytes",
+            "planes_per_die",
         ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
+        if self.blocks_per_die % self.planes_per_die:
+            raise ValueError(
+                "blocks_per_die must be a multiple of planes_per_die"
+            )
 
     @property
     def dies(self):
@@ -52,6 +62,21 @@ class Geometry:
     @property
     def pages_per_die(self):
         return self.blocks_per_die * self.pages_per_block
+
+    # -- plane addressing ----------------------------------------------------
+
+    def plane_of(self, block):
+        """The plane a block index belongs to (interleaved layout)."""
+        return block % self.planes_per_die
+
+    def stripe_base(self, block):
+        """First block of the aligned multi-plane stripe containing ``block``."""
+        return block - (block % self.planes_per_die)
+
+    def stripe_of(self, block):
+        """All block indices of the aligned stripe containing ``block``."""
+        base = self.stripe_base(block)
+        return list(range(base, base + self.planes_per_die))
 
     @property
     def total_pages(self):

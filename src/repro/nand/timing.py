@@ -21,12 +21,28 @@ class NandTiming:
     t_read: float = 70 * MICROS
     t_erase: float = 3 * MILLIS
     bus_bandwidth: float = 0.4  # bytes/ns == GB/s, NV-DDR2-class
+    #: Latency to park an in-flight erase on an ERASE SUSPEND command
+    #: (the die finishes the current erase pulse before yielding).
+    t_erase_suspend: float = 25 * MICROS
+    #: Penalty paid on ERASE RESUME before erase progress continues
+    #: (re-ramping the erase voltage).
+    t_erase_resume: float = 35 * MICROS
+    #: Cell-time multipliers for multi-plane operations: both planes
+    #: program/erase concurrently off one command, at (nearly) the
+    #: single-plane cell latency.
+    multiplane_program_factor: float = 1.0
+    multiplane_erase_factor: float = 1.0
 
     def __post_init__(self):
         if min(self.t_program, self.t_read, self.t_erase) <= 0:
             raise ValueError("NAND latencies must be positive")
         if self.bus_bandwidth <= 0:
             raise ValueError("bus bandwidth must be positive")
+        if min(self.t_erase_suspend, self.t_erase_resume) < 0:
+            raise ValueError("suspend/resume latencies must be >= 0")
+        if min(self.multiplane_program_factor,
+               self.multiplane_erase_factor) <= 0:
+            raise ValueError("multi-plane factors must be positive")
 
     def transfer_time(self, nbytes):
         """Time to move ``nbytes`` over the channel bus."""

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from repro.ftl.gc import GarbageCollector
 from repro.ftl.mapping import PageMappingFtl
 from repro.nand.channel import Channel
+from repro.nand.dies import DieQos
 from repro.nand.geometry import Geometry
 from repro.nand.timing import NandTiming
 from repro.pcie.dma import DmaEngine
@@ -46,6 +47,10 @@ class SsdConfig:
     gc_enabled: bool = True
     program_fault_model: object = None
     read_fault_model: object = None
+    # Die QoS policy (erase suspend/resume, cache program, multi-plane
+    # writes) shared by every channel and the scheduler; None builds the
+    # all-off default, which reproduces the idealized backend exactly.
+    qos: object = None
 
 
 class ConventionalSsd:
@@ -60,9 +65,11 @@ class ConventionalSsd:
         self.link = PcieLink(engine, lanes=cfg.pcie_lanes, gen=cfg.pcie_gen,
                              name=f"{name}.pcie")
         self.dma = DmaEngine(engine, self.link)
+        self.qos = cfg.qos if cfg.qos is not None else DieQos()
         self.channels = [
             Channel(engine, cfg.geometry, cfg.timing, channel_id=i,
                     fault_model=cfg.read_fault_model,
+                    qos=self.qos,
                     name=f"{name}.ch{i}")
             for i in range(cfg.geometry.channels)
         ]
@@ -147,11 +154,26 @@ class ConventionalSsd:
         Per die: one page every (bus transfer + tPROG); dies overlap except
         on the shared channel bus.  The min of cell-limited and bus-limited
         throughput bounds the device — the 100% reference line of Fig. 12.
+
+        With the NAND realism pack on, the per-die cost reflects it:
+        cache program overlaps the transfer with the previous cell phase
+        (``max`` instead of sum) and multi-plane batching amortizes one
+        cell phase over ``planes_per_die`` pages.
         """
         geometry = self.config.geometry
         timing = self.config.timing
         page = geometry.page_bytes
-        per_die = page / (timing.transfer_time(page) + timing.t_program)
+        planes = (geometry.planes_per_die
+                  if self.qos.multi_plane_writes else 1)
+        transfer = timing.transfer_time(page) * planes
+        cell = timing.t_program * (
+            timing.multiplane_program_factor if planes > 1 else 1.0
+        )
+        if self.qos.cache_program:
+            per_stripe = max(transfer, cell)
+        else:
+            per_stripe = transfer + cell
+        per_die = page * planes / per_stripe
         cell_limit = per_die * geometry.dies
         bus_limit = timing.bus_bandwidth * geometry.channels
         return min(cell_limit, bus_limit)

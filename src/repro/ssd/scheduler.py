@@ -18,8 +18,10 @@ the mode matters most under saturation (Fig. 12).
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from itertools import count
+
+from repro.nand.dies import DieQos
 
 _request_ids = count(1)
 
@@ -74,6 +76,28 @@ class WriteScheduler:
         self._running = False
         self.dispatched = {Source.CONVENTIONAL: 0, Source.DESTAGE: 0}
         self.bytes_written = {Source.CONVENTIONAL: 0, Source.DESTAGE: 0}
+        self.striped_dispatches = 0
+
+    # -- QoS ----------------------------------------------------------------------
+
+    @property
+    def qos(self):
+        """The :class:`~repro.nand.dies.DieQos` shared with the channels."""
+        return self.ftl.qos
+
+    def set_qos(self, **changes):
+        """Mutate the shared die QoS policy in place (admin knob).
+
+        The object is shared with every channel's resource manager, so
+        changes take effect for operations issued after this call.
+        """
+        valid = {f.name for f in fields(DieQos)}
+        qos = self.qos
+        for key, value in changes.items():
+            if key not in valid:
+                raise ValueError(f"unknown QoS knob {key!r}")
+            setattr(qos, key, value)
+        return qos
 
     # -- intake -------------------------------------------------------------------
 
@@ -160,20 +184,37 @@ class WriteScheduler:
                     continue
                 yield event
                 continue
-            request = self._pools[source].popleft()
+            pool = self._pools[source]
+            batch = [pool.popleft()]
+            if self.qos.multi_plane_writes:
+                # Same-source requests ride one multi-plane program when
+                # the allocator has an aligned stripe open.
+                planes = self.ftl.geometry.planes_per_die
+                while pool and len(batch) < planes:
+                    batch.append(pool.popleft())
             tracer = self.engine.tracer
-            token = getattr(request, "trace_token", None)
+            tokens = [getattr(r, "trace_token", None) for r in batch]
             try:
-                address = yield self.ftl.write(
-                    request.lba, request.payload, request.nbytes
-                )
-            except Exception as error:  # modeled fault -> propagate to waiter
-                if tracer.enabled and token is not None:
-                    tracer.end(token, failed=type(error).__name__)
-                request.completion.fail(error)
+                if len(batch) > 1:
+                    addresses = yield self.ftl.write_striped(
+                        [(r.lba, r.payload, r.nbytes) for r in batch],
+                        op_class=source.value,
+                    )
+                    self.striped_dispatches += 1
+                else:
+                    addresses = [(yield self.ftl.write(
+                        batch[0].lba, batch[0].payload, batch[0].nbytes,
+                        op_class=source.value,
+                    ))]
+            except Exception as error:  # modeled fault -> propagate to waiters
+                for request, token in zip(batch, tokens):
+                    if tracer.enabled and token is not None:
+                        tracer.end(token, failed=type(error).__name__)
+                    request.completion.fail(error)
                 continue
-            self.dispatched[source] += 1
-            self.bytes_written[source] += request.nbytes
-            if tracer.enabled and token is not None:
-                tracer.end(token)
-            request.completion.succeed(address)
+            for request, token, address in zip(batch, tokens, addresses):
+                self.dispatched[source] += 1
+                self.bytes_written[source] += request.nbytes
+                if tracer.enabled and token is not None:
+                    tracer.end(token)
+                request.completion.succeed(address)

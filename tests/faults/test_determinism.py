@@ -8,7 +8,10 @@ exercises link-layer retries must still replay byte-for-byte.
 import json
 
 from repro.faults.plan import FaultKind, FaultPlan
-from repro.faults.scenario import run_chaos
+from repro.faults.scenario import (
+    chaos_realistic_nand_config_factory,
+    run_chaos,
+)
 
 
 def flap_plan():
@@ -35,3 +38,41 @@ def test_different_seeds_diverge():
     second = run_chaos(12, plan=flap_plan())
     assert (json.dumps(first, sort_keys=True)
             != json.dumps(second, sort_keys=True))
+
+
+def test_realistic_nand_chaos_replays_byte_identical():
+    """The die resource manager (suspend/resume, cache program, multi-
+    plane batching) must not perturb replay determinism: two runs of one
+    seed with every realism feature on stay byte-for-byte identical."""
+
+    def run():
+        return run_chaos(
+            7,
+            config_factory=chaos_realistic_nand_config_factory(7),
+            collect_snapshots=True,
+        )
+
+    first = run()
+    second = run()
+    assert (json.dumps(first, sort_keys=True)
+            == json.dumps(second, sort_keys=True))
+    # The run exercised the realism pack, not just tolerated it.
+    nand = first["snapshots"]["primary"]["conventional_side"]["nand"]
+    assert nand["cache_programs"] > 0
+    assert first["commits_acknowledged"] > 0
+
+
+def test_realistic_nand_chaos_diverges_from_idealized_backend():
+    """Same seed, different physics: the realistic backend actually
+    changes device behavior (so the determinism above is not vacuous),
+    while the workload-level outcome stays intact."""
+    idealized = run_chaos(7, collect_snapshots=True)
+    realistic = run_chaos(
+        7, config_factory=chaos_realistic_nand_config_factory(7),
+        collect_snapshots=True,
+    )
+    ideal_nand = idealized["snapshots"]["primary"]["conventional_side"]["nand"]
+    real_nand = realistic["snapshots"]["primary"]["conventional_side"]["nand"]
+    assert ideal_nand["cache_programs"] == 0
+    assert real_nand["cache_programs"] > 0
+    assert idealized["ok"] and realistic["ok"]

@@ -1,0 +1,254 @@
+"""Unit tests for the per-die resource manager: erase suspend/resume,
+cache-program pipelining, and multi-plane validation/timing."""
+
+import pytest
+
+from repro.nand.channel import Channel
+from repro.nand.dies import DieQos
+from repro.nand.geometry import Geometry
+from repro.nand.timing import NandTiming
+from repro.sim import Engine
+
+# Round numbers so every expected latency is exact arithmetic.
+T_PROGRAM = 100_000.0
+T_READ = 10_000.0
+T_ERASE = 500_000.0
+T_SUSPEND = 5_000.0
+T_RESUME = 7_000.0
+PAGE = 4096
+BUS = 0.5  # bytes/ns -> 8192 ns per page transfer
+TRANSFER = PAGE / BUS
+
+
+def make_channel(qos=None, planes=1, bus=BUS):
+    engine = Engine()
+    geometry = Geometry(channels=1, ways_per_channel=1, blocks_per_die=8,
+                        pages_per_block=8, page_bytes=PAGE,
+                        planes_per_die=planes)
+    timing = NandTiming(t_program=T_PROGRAM, t_read=T_READ, t_erase=T_ERASE,
+                        bus_bandwidth=bus, t_erase_suspend=T_SUSPEND,
+                        t_erase_resume=T_RESUME)
+    return engine, Channel(engine, geometry, timing, channel_id=0, qos=qos)
+
+
+def seed_page(engine, channel, block=0, page=0):
+    """Program one page so reads have something to return."""
+
+    def proc():
+        yield channel.program(0, block, page, "seed")
+
+    engine.process(proc())
+    engine.run()
+
+
+def read_latency_during_erase(qos, op_class="gc", issue_after=100_000.0):
+    """Erase block 1 with ``op_class``; read block 0 mid-erase.
+
+    Returns ``(latency, snapshot)`` of the read issued ``issue_after`` ns
+    into the erase.
+    """
+    engine, channel = make_channel(qos=qos)
+    seed_page(engine, channel)
+    latency = []
+
+    def workload():
+        erase = channel.erase(0, 1, op_class=op_class)
+        yield engine.timeout(issue_after)
+        started = engine.now
+        yield channel.read(0, 0, 0)
+        latency.append(engine.now - started)
+        yield erase
+
+    engine.process(workload())
+    engine.run()
+    return latency[0], channel.resources.snapshot()
+
+
+class TestEraseSuspendResume:
+    def test_read_waits_out_full_erase_without_suspend(self):
+        latency, snapshot = read_latency_during_erase(DieQos())
+        # 400 us of residual tBERS, then the read's own service time.
+        assert latency == pytest.approx(
+            (T_ERASE - 100_000.0) + T_READ + TRANSFER)
+        assert snapshot["suspends"] == 0
+
+    def test_read_preempts_suspendable_erase(self):
+        qos = DieQos(suspend_for_reads=True, suspendable_classes=("gc",))
+        latency, snapshot = read_latency_during_erase(qos)
+        # Park the erase, serve the read, done: no tBERS in the tail.
+        assert latency == pytest.approx(T_SUSPEND + T_READ + TRANSFER)
+        assert snapshot["suspends"] == 1
+        assert snapshot["resumes"] == 1
+        assert snapshot["reads_preempting"] == 1
+
+    def test_non_suspendable_class_is_not_preempted(self):
+        qos = DieQos(suspend_for_reads=True, suspendable_classes=("gc",))
+        latency, snapshot = read_latency_during_erase(qos,
+                                                      op_class="destage")
+        assert latency == pytest.approx(
+            (T_ERASE - 100_000.0) + T_READ + TRANSFER)
+        assert snapshot["suspends"] == 0
+
+    def test_suspension_preserves_total_erase_work(self):
+        """Suspending pauses the erase clock; it does not shorten tBERS."""
+        qos = DieQos(suspend_for_reads=True, suspendable_classes=("gc",))
+        engine, channel = make_channel(qos=qos)
+        seed_page(engine, channel)
+        done = {}
+
+        def workload():
+            erase = channel.erase(0, 1, op_class="gc")
+            yield engine.timeout(100_000.0)
+            yield channel.read(0, 0, 0)
+            yield erase
+            done["at"] = engine.now
+
+        engine.process(workload())
+        engine.run()
+        erase_start = T_PROGRAM + TRANSFER  # after the seed program
+        window = T_READ + TRANSFER  # the read served mid-suspension
+        assert done["at"] == pytest.approx(
+            erase_start + T_ERASE + T_SUSPEND + window + T_RESUME)
+        assert channel.die(0).blocks[1].erase_count == 1
+
+    def test_suspend_budget_bounds_interruptions(self):
+        qos = DieQos(suspend_for_reads=True, suspendable_classes=("gc",),
+                     max_suspends_per_erase=1)
+        engine, channel = make_channel(qos=qos)
+        seed_page(engine, channel)
+        latencies = []
+
+        def workload():
+            erase = channel.erase(0, 1, op_class="gc")
+            for _ in range(2):
+                yield engine.timeout(100_000.0)
+                started = engine.now
+                yield channel.read(0, 0, 0)
+                latencies.append(engine.now - started)
+            yield erase
+
+        engine.process(workload())
+        engine.run()
+        snapshot = channel.resources.snapshot()
+        assert snapshot["suspends"] == 1
+        # First read preempts; the second finds the budget spent and
+        # falls back to FIFO behind the rest of the erase.
+        assert latencies[0] == pytest.approx(T_SUSPEND + T_READ + TRANSFER)
+        assert latencies[1] > T_ERASE / 2
+
+    def test_reads_queued_during_window_share_one_suspension(self):
+        qos = DieQos(suspend_for_reads=True, suspendable_classes=("gc",),
+                     max_suspends_per_erase=1)
+        engine, channel = make_channel(qos=qos)
+        seed_page(engine, channel)
+        finished = []
+
+        def reader(delay):
+            yield engine.timeout(delay)
+            yield channel.read(0, 0, 0)
+            finished.append(engine.now)
+
+        def workload():
+            yield channel.erase(0, 1, op_class="gc")
+
+        engine.process(workload())
+        # Both arrive mid-erase, close together: the second joins the
+        # first's window instead of burning (nonexistent) budget.
+        engine.process(reader(100_000.0))
+        engine.process(reader(101_000.0))
+        engine.run()
+        snapshot = channel.resources.snapshot()
+        assert snapshot["suspends"] == 1
+        assert snapshot["reads_preempting"] == 2
+        window_start = T_PROGRAM + TRANSFER + 100_000.0 + T_SUSPEND
+        assert finished[0] == pytest.approx(window_start + T_READ + TRANSFER)
+        assert finished[1] == pytest.approx(
+            window_start + 2 * (T_READ + TRANSFER))
+
+
+class TestCacheProgram:
+    def test_cache_program_pipelines_transfer_behind_cell_phase(self):
+        # Slow bus so the overlap is large: 81.92 us transfer, 100 us tPROG.
+        engine, channel = make_channel(bus=0.05)
+        transfer = PAGE / 0.05
+        pages = 4
+        events = [channel.program(0, 0, page, f"p{page}", cache=True)
+                  for page in range(pages)]
+
+        def waiter():
+            for event in events:
+                yield event
+
+        engine.process(waiter())
+        engine.run()
+        # Steady state pays max(transfer, tPROG) per page, not the sum.
+        assert engine.now == pytest.approx(transfer + pages * T_PROGRAM)
+        assert channel.resources.snapshot()["cache_programs"] == pages
+
+    def test_plain_program_pays_transfer_plus_cell_each(self):
+        engine, channel = make_channel(bus=0.05)
+        transfer = PAGE / 0.05
+        pages = 4
+        events = [channel.program(0, 0, page, f"p{page}")
+                  for page in range(pages)]
+
+        def waiter():
+            for event in events:
+                yield event
+
+        engine.process(waiter())
+        engine.run()
+        assert engine.now == pytest.approx(pages * (transfer + T_PROGRAM))
+
+
+class TestMultiPlane:
+    def test_multi_plane_program_shares_one_cell_phase(self):
+        engine, channel = make_channel(planes=2)
+        results = []
+
+        def proc():
+            ops = [(0, 0, "plane-0", None), (1, 0, "plane-1", None)]
+            results.append((yield channel.program_multi(0, ops)))
+
+        engine.process(proc())
+        engine.run()
+        # Two data phases on the bus, a single shared tPROG.
+        assert engine.now == pytest.approx(2 * TRANSFER + T_PROGRAM)
+        assert results[0] == [(0, 0), (1, 0)]
+        assert channel.resources.snapshot()["multi_plane_programs"] == 1
+
+    def test_multi_plane_erase_costs_one_tbers(self):
+        engine, channel = make_channel(planes=2)
+
+        def proc():
+            yield channel.erase_multi(0, [0, 1])
+
+        engine.process(proc())
+        engine.run()
+        assert engine.now == pytest.approx(T_ERASE)
+        die = channel.die(0)
+        assert die.blocks[0].erase_count == 1
+        assert die.blocks[1].erase_count == 1
+
+    def test_validation_rejects_malformed_stripes(self):
+        engine, channel = make_channel(planes=2)
+        validate = channel.resources.validate_multi_plane
+        with pytest.raises(ValueError):
+            validate([(0, 0)])  # too few planes
+        with pytest.raises(ValueError):
+            validate([(0, 0), (1, 0), (2, 0)])  # too many
+        with pytest.raises(ValueError):
+            validate([(0, 0), (2, 0)])  # both on plane 0
+        with pytest.raises(ValueError):
+            validate([(1, 0), (2, 0)])  # spans two stripes
+        with pytest.raises(ValueError):
+            validate([(0, 0), (1, 1)])  # page offsets differ
+
+
+def test_suspend_scenario_is_deterministic():
+    from repro.bench.nand import run_suspend_cell
+
+    first = run_suspend_cell(True, reads=24)
+    second = run_suspend_cell(True, reads=24)
+    assert first == second
+    assert first["suspends"] > 0

@@ -1,0 +1,161 @@
+"""Wear-aware ECC: BER curve shape and the aged retry-then-retire path."""
+
+import pytest
+
+from repro.ftl.mapping import PageMappingFtl, ReadRetired
+from repro.nand.channel import Channel
+from repro.nand.ecc import EccFaultModel, WearCurve
+from repro.nand.errors import UncorrectableError
+from repro.nand.geometry import Geometry
+from repro.nand.timing import NandTiming
+from repro.sim import Engine
+
+
+class TestWearCurve:
+    def test_ber_monotonic_in_erase_count(self):
+        curve = WearCurve()
+        bers = [curve.ber(erases, 0) for erases in (0, 500, 1500, 3000)]
+        assert bers == sorted(bers)
+        assert bers[0] < bers[-1]
+
+    def test_ber_monotonic_in_read_disturb(self):
+        curve = WearCurve()
+        bers = [curve.ber(0, reads) for reads in (0, 10_000, 50_000, 100_000)]
+        assert bers == sorted(bers)
+        assert bers[0] < bers[-1]
+
+    def test_ber_capped_at_max(self):
+        curve = WearCurve()
+        assert curve.ber(10 ** 9, 10 ** 9) == pytest.approx(curve.max_ber)
+
+    def test_fresh_block_is_near_base_ber(self):
+        curve = WearCurve()
+        assert curve.ber(0, 0) == pytest.approx(curve.base_ber)
+
+    def test_uncorrectable_probability_bounded(self):
+        curve = WearCurve(uncorrectable_scale=1e12)
+        probability = curve.uncorrectable_probability(10 ** 6, 10 ** 6)
+        assert probability == 1.0
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            WearCurve(base_ber=0.0)
+        with pytest.raises(ValueError):
+            WearCurve(base_ber=1e-3, max_ber=1e-4)
+        with pytest.raises(ValueError):
+            WearCurve(endurance=0)
+
+
+class TestWearAwareFaultModel:
+    #: Compressed curve (same spirit as the aged bench cell): end-of-life
+    #: blocks fail about half their reads so small samples are decisive.
+    CURVE = dict(base_ber=1e-7, max_ber=1e-4, endurance=1_000,
+                 disturb_reads=50_000, uncorrectable_scale=5_000.0)
+
+    def errors_over(self, erase_count, reads=300, seed=3):
+        model = EccFaultModel(seed=seed, wear_curve=WearCurve(**self.CURVE))
+        errors = 0
+        for page in range(reads):
+            try:
+                model.check_read(0, 0, 0, page, erase_count=erase_count,
+                                 read_count=0)
+            except UncorrectableError:
+                errors += 1
+        return errors
+
+    def test_aged_blocks_fail_far_more_reads(self):
+        young = self.errors_over(erase_count=0)
+        aged = self.errors_over(erase_count=1_200)
+        assert young == 0
+        assert aged > 50
+
+    def test_read_disturb_alone_degrades_reads(self):
+        model = EccFaultModel(seed=5, wear_curve=WearCurve(**self.CURVE))
+        errors = 0
+        for _ in range(300):
+            try:
+                model.check_read(0, 0, 0, 0, erase_count=0,
+                                 read_count=200_000)
+            except UncorrectableError:
+                errors += 1
+        assert errors > 50
+
+
+class TestAgedRetirePath:
+    """End-to-end: wear feeds ECC feeds the FTL's retry-then-retire."""
+
+    def make_system(self, seed=11):
+        engine = Engine()
+        geometry = Geometry(channels=1, ways_per_channel=1, blocks_per_die=16,
+                            pages_per_block=16, page_bytes=4096)
+        fault = EccFaultModel(
+            seed=seed,
+            wear_curve=WearCurve(**TestWearAwareFaultModel.CURVE),
+        )
+        channel = Channel(engine, geometry, NandTiming(), channel_id=0,
+                          fault_model=fault)
+        ftl = PageMappingFtl(engine, [channel], geometry, read_retry_limit=3)
+        lbas = 24
+
+        def fill():
+            for lba in range(lbas):
+                yield ftl.write(lba, f"payload-{lba}")
+
+        engine.process(fill(), name="fill")
+        engine.run()
+        return engine, channel, ftl, lbas
+
+    def hammer(self, engine, ftl, lbas, reads=200):
+        retired = [0]
+
+        def proc():
+            for index in range(reads):
+                try:
+                    yield ftl.read(index % lbas)
+                except ReadRetired:
+                    retired[0] += 1
+
+        engine.process(proc(), name="hammer")
+        engine.run()
+        return retired[0]
+
+    def test_young_device_reads_clean(self):
+        engine, channel, ftl, lbas = self.make_system()
+        self.hammer(engine, ftl, lbas)
+        assert ftl.read_retries == 0
+        assert ftl.read_retirements == 0
+        assert not ftl.allocator.bad_blocks
+
+    def test_aged_device_retries_then_retires(self):
+        engine, channel, ftl, lbas = self.make_system()
+        for block in channel.die(0).blocks:
+            block.erase_count = 1_200
+        self.hammer(engine, ftl, lbas)
+        assert ftl.read_retries > 0
+        assert ftl.read_retirements > 0
+        assert len(ftl.allocator.bad_blocks) > 0
+
+    def test_channel_passes_wear_counters_to_fault_model(self):
+        engine, channel, ftl, lbas = self.make_system()
+        seen = []
+        fault = channel.fault_model
+        original = fault.check_read
+
+        def spy(channel_id, way, block, page, erase_count=0, read_count=0):
+            seen.append((erase_count, read_count))
+            return original(channel_id, way, block, page,
+                            erase_count=erase_count, read_count=read_count)
+
+        fault.check_read = spy
+        die_block = channel.die(0).blocks[0]
+        die_block.erase_count = 7
+
+        def proc():
+            yield channel.read(0, 0, 0)
+            yield channel.read(0, 0, 0)
+
+        engine.process(proc())
+        engine.run()
+        # Second read sees the first read's disturb increment.
+        assert seen[0][0] == 7
+        assert seen[1] == (7, seen[0][1] + 1)
