@@ -14,6 +14,7 @@ Usage::
     python -m repro.bench check [--scenario chain --budget 200 ...]
     python -m repro.bench health [--scenario failover|overload|all] [--seed 7]
     python -m repro.bench fleet [--devices 1 2 4] [--tenants 3] [--seed 7]
+    python -m repro.bench dr [--txns 500] [--shards 2] [--seed 7]
     python -m repro.bench trace [--scenario chain|fig09|chaos] [--out t.json]
 
 Every subcommand accepts ``--jobs N`` (fan the figure's independent cells
@@ -43,6 +44,7 @@ from repro.bench import (
     run_fig11,
     run_fig12,
     run_fig13,
+    run_dr_bench,
     run_fleet_bench,
     run_kernel_bench,
     run_nand_bench,
@@ -346,6 +348,43 @@ def _fleet(args):
     return result
 
 
+def _dr(args):
+    result = run_dr_bench(
+        seed=getattr(args, "seed", 7),
+        shards=getattr(args, "shards", 2),
+        duration_ms=getattr(args, "duration_ms", 2.0),
+        transactions=getattr(args, "txns", 500),
+        key_space=getattr(args, "key_space", 8),
+        segment_bytes=getattr(args, "segment_bytes", 4096),
+        jobs=_jobs(args),
+    )
+    for row in result["steady"]:
+        row["mode"] = "archived" if row["dr"] else "baseline"
+    print(format_table(result["steady"], (
+        ("mode", "mode", ""),
+        ("shards", "shards", "d"),
+        ("commits", "commits", "d"),
+        ("ktxn_per_s", "throughput [ktxn/s]", ".1f"),
+        ("overhead_pct", "overhead [%]", ".1f"),
+    ), title="DR — archival overhead vs steady-state throughput"))
+    rec = result["recovery"]
+    print(f"\nrecovery: {rec['commits']} commits archived "
+          f"({rec['wal_bytes_resynced']:.0f} WAL bytes, "
+          f"{rec['archiver']['segments_shipped']} segments, "
+          f"{rec['archiver']['snapshots_taken']} snapshots)")
+    print(format_table([rec], (
+        ("resync_ms", "chain resync [ms]", ".3f"),
+        ("restore_ms", "archive restore [ms]", ".3f"),
+        ("restore_speedup", "speedup", ".2f"),
+        ("restored_rows", "rows", "d"),
+        ("restored_matches", "state matches", ""),
+    ), title="DR — replica repair: full chain resync vs archive restore"))
+    if not (rec["restored_matches"] and rec["resync_complete"]
+            and rec["restore_complete"]):
+        raise SystemExit(1)
+    return result
+
+
 def _trace(args):
     from repro.bench.trace_cmd import run_trace
 
@@ -498,6 +537,22 @@ def build_parser():
     fleet.add_argument("--no-hot", action="store_true",
                        help="skip the hot-shard rebalance cell")
 
+    dr = subparsers.add_parser(
+        "dr", help="disaster recovery: archival overhead + restore vs resync")
+    dr.add_argument("--seed", type=int, default=7,
+                    help="workload/device seed")
+    dr.add_argument("--shards", type=int, default=2,
+                    help="shards (writers) on the archived node")
+    dr.add_argument("--duration-ms", type=float, default=2.0,
+                    help="simulated milliseconds per steady-state cell")
+    dr.add_argument("--txns", type=int, default=500,
+                    help="transactions per shard in the recovery cell")
+    dr.add_argument("--key-space", type=int, default=8,
+                    help="distinct keys per shard (small = snapshot "
+                         "compacts more history)")
+    dr.add_argument("--segment-bytes", type=int, default=4096,
+                    help="WAL bytes per archived segment")
+
     trace = subparsers.add_parser(
         "trace", help="capture a full-stack trace of one scenario")
     trace.add_argument("--scenario", choices=["chain", "fig09", "chaos"],
@@ -520,7 +575,7 @@ def build_parser():
                        help="override the scenario's time budget")
 
     for sub in (fig09, fig10, fig11, fig12, fig13, kernel, nand, chaos,
-                health, fleet, subparsers.choices["all"]):
+                health, fleet, dr, subparsers.choices["all"]):
         _add_common_flags(sub)
     return parser
 
@@ -581,7 +636,8 @@ def main(argv=None):
             _write_json(json_path, "all", all_rows)
     else:
         extras = {"kernel": _kernel, "nand": _nand, "chaos": _chaos,
-                  "trace": _trace, "health": _health, "fleet": _fleet}
+                  "trace": _trace, "health": _health, "fleet": _fleet,
+                  "dr": _dr}
         runner = extras.get(args.figure) or FIGURES[args.figure]
         rows = _capturing(trace_path, args.figure, lambda: runner(args))
         if json_path:

@@ -15,6 +15,14 @@ Entry point: ``python -m repro.check --scenario {local,chain,multiwriter}
 --budget N [--exhaustive]``.  See CHECKING.md.
 """
 
+from repro.check.dr import (
+    DR_FAMILIES,
+    DrCheckConfig,
+    enumerate_dr_schedules,
+    probe_dr_candidates,
+    run_dr_check,
+    run_dr_schedule,
+)
 from repro.check.fleet import (
     FLEET_FAMILIES,
     FleetCheckConfig,
@@ -56,6 +64,12 @@ __all__ = [
     "probe_transitions",
     "run_check",
     "run_schedule",
+    "DR_FAMILIES",
+    "DrCheckConfig",
+    "enumerate_dr_schedules",
+    "probe_dr_candidates",
+    "run_dr_check",
+    "run_dr_schedule",
     "FLEET_FAMILIES",
     "FleetCheckConfig",
     "enumerate_fleet_schedules",

@@ -53,6 +53,16 @@ def build_parser():
                         help="validate the fleet checker: seed the "
                              "early-cutover ack-ordering bug in the "
                              "migration protocol and expect failures")
+    parser.add_argument("--dr", action="store_true",
+                        help="check the disaster-recovery tier instead: a "
+                             "fleet with per-node WAL archivers shipping to "
+                             "a fault-modeled grid, under the dr-total-loss "
+                             "/ dr-archive-lag schedule families with a "
+                             "PITR oracle")
+    parser.add_argument("--seed-drop-segment-bug", action="store_true",
+                        help="validate the dr checker: seed the "
+                             "silently-dropped-segment archiver bug and "
+                             "expect failures")
     parser.add_argument("--transactions", type=int, default=24,
                         help="workload transactions (default: 24)")
     parser.add_argument("--out-dir", default="reproducers",
@@ -81,7 +91,15 @@ def main(argv=None):
             emit(f"  {violation}")
         return 1
 
-    if args.fleet:
+    if args.dr:
+        from repro.check.dr import DrCheckConfig, run_dr_check
+
+        config = DrCheckConfig(seed=args.seed, nodes=args.nodes,
+                               drop_segment=args.seed_drop_segment_bug)
+        report = run_dr_check(config, budget=args.budget,
+                              exhaustive=args.exhaustive,
+                              out_dir=args.out_dir, log=emit)
+    elif args.fleet:
         from repro.check.fleet import FleetCheckConfig, run_fleet_check
 
         config = FleetCheckConfig(seed=args.seed, nodes=args.nodes,

@@ -66,6 +66,14 @@ class ReferenceModel:
     def writers(self):
         return list(self._sequences)
 
+    def sequence_ids(self, writer):
+        """Submission-order transaction ids for ``writer``.
+
+        The PITR oracle joins these against the archive's COMMIT records
+        to locate each commit boundary's LSN.
+        """
+        return [txn_id for txn_id, _writes in self._sequences.get(writer, [])]
+
     def total_committed(self):
         return sum(len(seq) for seq in self._sequences.values())
 

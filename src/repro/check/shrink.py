@@ -90,5 +90,11 @@ def replay_reproducer(path):
         return run_fleet_schedule(
             FleetCheckConfig.from_dict(data["config"]), schedule
         )
+    if data["config"].get("scenario") == "dr":
+        from repro.check.dr import DrCheckConfig, run_dr_schedule
+
+        return run_dr_schedule(
+            DrCheckConfig.from_dict(data["config"]), schedule
+        )
     config = CheckConfig.from_dict(data["config"])
     return run_schedule(config, schedule)

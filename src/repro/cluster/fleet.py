@@ -277,6 +277,7 @@ class FleetNode:
             )
             self.supervisor.start()
         self.shards = {}  # shard_id -> Shard currently owned here
+        self.archiver = None  # set by Fleet.enable_dr
         self._last_admitted_bytes = 0
 
     @property
@@ -297,6 +298,8 @@ class FleetNode:
     def stop(self):
         if self.supervisor is not None:
             self.supervisor.stop()
+        if self.archiver is not None:
+            self.archiver.stop()
         self.database.log_manager.stop()
 
 
@@ -314,6 +317,7 @@ class Fleet:
         self.nodes = {}  # name -> FleetNode
         self.shards = {}  # shard_id -> Shard
         self.moves = []  # completed migrations: plain dict records
+        self.grid = None  # remote archive grid, set by enable_dr
 
     # -- membership ----------------------------------------------------------------
 
@@ -346,6 +350,31 @@ class Fleet:
         self.shards[shard_id] = shard
         self._instant("shard-place", shard_id, node=owner)
         return shard
+
+    def enable_dr(self, grid, **archiver_kw):
+        """Attach one WAL archiver per node, shipping to ``grid``.
+
+        Call after :meth:`add_nodes`: each existing node gets an
+        :class:`~repro.dr.archive.Archiver` tailing its primary's
+        destage ring (nodes added later are not auto-covered).
+        ``archiver_kw`` passes through — ``segment_bytes``, ``poll_ns``,
+        ``snapshot_every_ns``, ``drop_segment_seqs`` (the seeded bug).
+        Returns the archivers, started, in node-name order.
+        """
+        from repro.dr.archive import Archiver
+
+        self.grid = grid
+        archivers = []
+        for name, node in sorted(self.nodes.items()):
+            if node.archiver is not None:
+                raise RuntimeError(f"node {name!r} already has an archiver")
+            node.archiver = Archiver(
+                self.engine, name, node.device, node.database, grid,
+                **archiver_kw,
+            ).start()
+            archivers.append(node.archiver)
+            self._instant("dr-enable", name)
+        return archivers
 
     def node_of(self, shard_id):
         """The shard's *current* owner (directory, not placement policy)."""

@@ -42,7 +42,7 @@ from repro.db.txn import TransactionAborted
 from repro.health.errors import DeviceBusy
 
 
-class _StreamScanner:
+class StreamScanner:
     """Incremental record extraction over a live destage ring.
 
     The batch torn-tail rule (:func:`repro.db.recovery.extract_records`)
@@ -87,6 +87,10 @@ class _StreamScanner:
         return fresh
 
 
+# Historical name; the DR archiver made the scanner a shared surface.
+_StreamScanner = StreamScanner
+
+
 class ShardMigration:
     """One shard's move between fleet nodes; a restartable sim process."""
 
@@ -114,6 +118,7 @@ class ShardMigration:
         self.events = []  # [{time_ns, phase | action, detail...}]
         self.replayed_txns = 0
         self.topped_up_keys = 0
+        self.archive_catchup_txns = 0
         self.busy_backoffs = 0
         self._replayed_ids = set()
         self._txn_buffer = {}  # source txn_id -> [data records]
@@ -158,7 +163,7 @@ class ShardMigration:
             # rebuilt, not shipped: only transactional deltas ride the WAL.
             shard.bootstrap(dest_view)
         self.dest.admission.register_writer(self.writer_id)
-        scanner = _StreamScanner(self.source.cluster.primary.device)
+        scanner = StreamScanner(self.source.cluster.primary.device)
         try:
             self._mark("copy")
             for _round in range(self.copy_rounds):
@@ -180,7 +185,12 @@ class ShardMigration:
                         break
                     stalled = 0 if fresh else stalled + 1
                     if stalled >= self.max_stalled_rounds:
-                        yield from self._top_up(dest_view)
+                        # The ring evicted early WAL.  A DR-enabled
+                        # source still has it archived: replay from the
+                        # grid before resorting to a state top-up.
+                        yield from self._archive_catchup(dest_view)
+                        if shard.view.state() != dest_view.state():
+                            yield from self._top_up(dest_view)
                         break
                     yield self.engine.timeout(self.round_wait_ns)
             self._mark("cutover")
@@ -264,6 +274,58 @@ class ShardMigration:
                 continue  # only self-conflicts possible; retry is safe
             finally:
                 self.dest.admission.release(self.writer_id, est)
+
+    def _archive_catchup(self, dest_view):
+        """Replay the shard's archived transactions the ring no longer holds.
+
+        Fetches the source archiver's sealed segments from the grid
+        (timed transfers — the grid's latency is the cost of this path)
+        and replays this shard's not-yet-replayed committed transactions
+        in commit-LSN order.  Unlike a state top-up, this preserves the
+        full commit sequence on the destination log.  Any grid failure
+        (partition, missing object) just returns — the caller falls back
+        to the top-up.  Returns the number of transactions replayed.
+        """
+        archiver = getattr(self.source, "archiver", None)
+        if archiver is None:
+            return 0
+        from repro.dr.archive import record_from_dict
+        from repro.dr.grid import GridUnavailable
+        from repro.db.log_record import RecordKind as _Kind
+
+        records = []
+        try:
+            for entry in list(archiver._segment_entries):
+                stored = yield from archiver.grid.get(entry["key"])
+                records.extend(
+                    record_from_dict(data)
+                    for data in stored.payload.get("records", [])
+                )
+        except (GridUnavailable, KeyError):
+            self._mark("archive-catchup", replayed=0, aborted=True)
+            return 0
+        by_txn = {}
+        commits = []
+        for record in records:
+            if record.kind is _Kind.COMMIT:
+                commits.append(record)
+            elif record.is_data():
+                by_txn.setdefault(record.txn_id, []).append(record)
+        commits.sort(key=lambda record: record.lsn)
+        prefix = self.shard.prefix
+        replayed = 0
+        for commit in commits:
+            mine = [r for r in by_txn.get(commit.txn_id, ())
+                    if r.table.startswith(prefix)]
+            if not mine or commit.txn_id in self._replayed_ids:
+                continue
+            yield from self._replay_txn(dest_view, mine)
+            self._replayed_ids.add(commit.txn_id)
+            replayed += 1
+            self.replayed_txns += 1
+            self.archive_catchup_txns += 1
+        self._mark("archive-catchup", replayed=replayed)
+        return replayed
 
     def _top_up(self, dest_view):
         """Transactional diff copy for state the WAL ring no longer holds."""

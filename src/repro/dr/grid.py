@@ -1,0 +1,240 @@
+"""The remote archive grid: a latency/fault-modeled object store.
+
+One :class:`RemoteGrid` lives under the same sim engine as the fleet it
+backs up — transfers take simulated time (a flat per-request latency
+plus payload bytes over the grid's bandwidth), partitions make every
+request fail after its timeout, and an armed torn upload persists only a
+prefix of the object (the crash-mid-PUT failure mode S3-style stores
+paper over with checksums, which is exactly how the archiver catches
+it here).
+
+Objects are structured payloads (plain JSON-able dicts), stored with the
+checksum of what *actually landed*.  A well-behaved client verifies its
+upload by reading the object back and comparing checksums against what
+it meant to write; :class:`~repro.dr.archive.Archiver` does.
+
+Grid faults arrive through the standard :class:`~repro.faults.plan.FaultPlan`
+machinery: :class:`GridFaultDriver` walks a plan's grid-sited specs
+(``site == "grid"``) the same way the chain's ChaosInjector walks
+server/bridge specs, so DR schedules shrink and replay like every other
+check family.
+"""
+
+from repro.faults.plan import GRID_SITED_KINDS, FaultKind
+
+
+class GridUnavailable(Exception):
+    """The grid is partitioned away; the request timed out."""
+
+
+class GridObject:
+    """One stored object: the landed payload plus its landed checksum."""
+
+    __slots__ = ("key", "payload", "nbytes", "checksum", "torn")
+
+    def __init__(self, key, payload, nbytes, checksum, torn=False):
+        self.key = key
+        self.payload = payload
+        self.nbytes = nbytes
+        self.checksum = checksum
+        self.torn = torn
+
+
+class RemoteGrid:
+    """A remote object store with modeled latency, partitions, torn PUTs.
+
+    ``base_latency_ns`` charges every request (the WAN round trip);
+    payload bytes move at ``bandwidth_bytes_per_ns``.  While
+    ``partitioned``, requests burn ``timeout_ns`` and raise
+    :class:`GridUnavailable`.  ``arm_torn_uploads(n)`` makes the next
+    ``n`` PUTs land torn: the stored object keeps only a prefix of the
+    payload, so its landed checksum differs from the client's intended
+    one.  All methods that move bytes are generators — drive them with
+    ``yield from`` inside a sim process.
+    """
+
+    def __init__(self, engine, name="grid", base_latency_ns=20_000.0,
+                 bandwidth_bytes_per_ns=1.0, timeout_ns=50_000.0):
+        self.engine = engine
+        self.name = name
+        self.base_latency_ns = float(base_latency_ns)
+        self.bandwidth_bytes_per_ns = float(bandwidth_bytes_per_ns)
+        self.timeout_ns = float(timeout_ns)
+        self.objects = {}  # key -> GridObject
+        self.partitioned = False
+        self._armed_torn = 0
+        self.puts = 0
+        self.gets = 0
+        self.failed_requests = 0
+        self.torn_uploads = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    # -- fault surface -------------------------------------------------------------
+
+    def sever(self):
+        """Partition the grid away (every request now times out)."""
+        self.partitioned = True
+        self._instant("grid-sever")
+
+    def heal(self):
+        self.partitioned = False
+        self._instant("grid-heal")
+
+    def arm_torn_uploads(self, count=1):
+        """The next ``count`` PUTs land torn (prefix-only, bad checksum)."""
+        self._armed_torn += int(count)
+        self._instant("grid-arm-torn", count=int(count))
+
+    # -- the wire ------------------------------------------------------------------
+
+    def _transfer_ns(self, nbytes):
+        return self.base_latency_ns + nbytes / self.bandwidth_bytes_per_ns
+
+    def put(self, key, payload, nbytes, checksum):
+        """Store ``payload`` under ``key``; returns the landed checksum.
+
+        ``checksum`` is what the *client* computed over the payload it
+        intended to store.  A torn upload lands a truncated payload with
+        a different landed checksum — the client only learns by reading
+        back (see :meth:`get`).
+        """
+        if self.partitioned:
+            self.failed_requests += 1
+            yield self.engine.timeout(self.timeout_ns)
+            raise GridUnavailable(f"PUT {key}: grid partitioned")
+        yield self.engine.timeout(self._transfer_ns(nbytes))
+        if self.partitioned:
+            # The partition landed mid-flight: the bytes are gone.
+            self.failed_requests += 1
+            raise GridUnavailable(f"PUT {key}: grid partitioned mid-flight")
+        self.puts += 1
+        self.bytes_in += nbytes
+        if self._armed_torn > 0:
+            self._armed_torn -= 1
+            self.torn_uploads += 1
+            torn_payload = _truncate_payload(payload)
+            from repro.dr.archive import payload_checksum
+
+            landed = payload_checksum(torn_payload)
+            self.objects[key] = GridObject(
+                key, torn_payload, max(1, nbytes // 2), landed, torn=True,
+            )
+            self._instant("put-torn", key=key, nbytes=nbytes)
+            return landed
+        self.objects[key] = GridObject(key, payload, nbytes, checksum)
+        self._instant("put", key=key, nbytes=nbytes)
+        return checksum
+
+    def get(self, key):
+        """Fetch the object under ``key``; returns the :class:`GridObject`.
+
+        Raises :class:`KeyError` (after the round trip) for a missing
+        key, :class:`GridUnavailable` while partitioned.
+        """
+        if self.partitioned:
+            self.failed_requests += 1
+            yield self.engine.timeout(self.timeout_ns)
+            raise GridUnavailable(f"GET {key}: grid partitioned")
+        stored = self.objects.get(key)
+        nbytes = stored.nbytes if stored is not None else 0
+        yield self.engine.timeout(self._transfer_ns(nbytes))
+        if stored is None:
+            self.failed_requests += 1
+            raise KeyError(f"grid object not found: {key!r}")
+        self.gets += 1
+        self.bytes_out += stored.nbytes
+        return stored
+
+    def list_keys(self, prefix=""):
+        """Stored keys under ``prefix`` (a metadata op; no simulated time)."""
+        return sorted(key for key in self.objects if key.startswith(prefix))
+
+    def stats(self):
+        return {
+            "objects": len(self.objects),
+            "puts": self.puts,
+            "gets": self.gets,
+            "failed_requests": self.failed_requests,
+            "torn_uploads": self.torn_uploads,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+        }
+
+    def _instant(self, action, **detail):
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant(self.name, action, **detail)
+
+
+def _truncate_payload(payload):
+    """What a torn PUT leaves behind: a structural prefix of the payload.
+
+    Record-bearing payloads (WAL segments) lose the tail half of their
+    records; manifests lose the tail half of their entry lists; snapshots
+    lose the tail half of every table's rows; anything else degrades to
+    an empty dict.  The point is only that the landed object is
+    *plausible but wrong* — detected by checksum, never by schema errors.
+    """
+    if isinstance(payload, dict):
+        torn = dict(payload)
+        for field in ("records", "rows", "segments", "snapshots"):
+            items = torn.get(field)
+            if isinstance(items, list) and items:
+                torn[field] = items[:len(items) // 2]
+                return torn
+        tables = torn.get("tables")
+        if isinstance(tables, dict):
+            torn["tables"] = {
+                name: rows[:len(rows) // 2]
+                if isinstance(rows, list) else rows
+                for name, rows in tables.items()
+            }
+        return torn
+    return {}
+
+
+class GridFaultDriver:
+    """Walk a plan's grid-sited specs against one :class:`RemoteGrid`.
+
+    The DR analogue of :class:`~repro.faults.injector.ChaosInjector`:
+    sleeps to each spec's time, applies it, and appends a plain-dict
+    entry to ``fault_log`` so determinism tests can diff byte-for-byte.
+    Non-grid specs are rejected — the caller routes those to the chain
+    injectors.
+    """
+
+    def __init__(self, engine, grid, plan):
+        for spec in plan:
+            if spec.kind not in GRID_SITED_KINDS:
+                raise ValueError(
+                    f"GridFaultDriver got non-grid fault {spec!r}"
+                )
+        self.engine = engine
+        self.grid = grid
+        self.plan = plan
+        self.fault_log = []
+
+    def start(self):
+        return self.engine.process(self._run(), name="grid-fault-driver")
+
+    def _run(self):
+        for spec in self.plan:
+            delay = spec.time_ns - self.engine.now
+            if delay > 0:
+                yield self.engine.timeout(delay)
+            self._apply(spec)
+
+    def _apply(self, spec):
+        if spec.kind is FaultKind.GRID_DOWN:
+            self.grid.sever()
+        elif spec.kind is FaultKind.GRID_UP:
+            self.grid.heal()
+        elif spec.kind is FaultKind.GRID_TORN_UPLOAD:
+            self.grid.arm_torn_uploads(spec.params.get("count", 1))
+        self.fault_log.append({
+            "time_ns": self.engine.now,
+            "site": spec.site,
+            "kind": spec.kind.value,
+            "params": dict(spec.params),
+        })

@@ -12,7 +12,10 @@ Sites are symbolic names resolved by the injector at apply time:
   (``"primary"``, ``"secondary-1"``, ...);
 * link faults (``link-down``, ``link-up``, ``link-corrupt``,
   ``link-latency-spike``) name a bridge by index (``"bridge-0"`` joins the
-  first adjacent pair in the chain).
+  first adjacent pair in the chain);
+* grid faults (``grid-down``, ``grid-up``, ``grid-torn-upload``) name the
+  remote archive grid (``"grid"``) and are resolved by the DR harness's
+  :class:`~repro.dr.grid.GridFaultDriver` rather than the chain injector.
 """
 
 import enum
@@ -34,6 +37,9 @@ class FaultKind(enum.Enum):
     REPLICA_REJOIN = "replica-rejoin"
     SUPERCAP_FAIL = "supercap-fail"
     CMB_TORN_WRITE = "cmb-torn-write"
+    GRID_DOWN = "grid-down"
+    GRID_UP = "grid-up"
+    GRID_TORN_UPLOAD = "grid-torn-upload"
 
 
 # Kinds whose site is a server name (the rest target a bridge).
@@ -44,6 +50,15 @@ SERVER_SITED_KINDS = frozenset({
     FaultKind.REPLICA_REJOIN,
     FaultKind.SUPERCAP_FAIL,
     FaultKind.CMB_TORN_WRITE,
+})
+
+# Kinds whose site is the remote archive grid ("grid").  The chain
+# injector never sees these: the DR checker splits its plan and routes
+# them to a GridFaultDriver (see repro/dr/grid.py).
+GRID_SITED_KINDS = frozenset({
+    FaultKind.GRID_DOWN,
+    FaultKind.GRID_UP,
+    FaultKind.GRID_TORN_UPLOAD,
 })
 
 

@@ -60,12 +60,17 @@ class GarbageCollector:
         """Greedy policy: the fully written block with fewest live pages.
 
         Only blocks that are not currently open for writing are candidates;
-        the mapping's live count gives the migration cost directly.
+        the mapping's live count gives the migration cost directly.  Equal
+        live counts break toward the *least-erased* block: a hot workload
+        keeps producing fully-dead blocks, and a wear-blind tie-break
+        (first block scanned wins) would funnel those erases by scan
+        order, letting an already-skewed die skew further forever.
         """
         table = self.ftl.table
         geometry = self.ftl.geometry
         best = None
         best_live = None
+        best_wear = None
         open_blocks = {
             (cursor.channel, cursor.way, block)
             for cursor in self.ftl.allocator._cursors.values()
@@ -82,8 +87,10 @@ class GarbageCollector:
                     if not block.is_full:
                         continue
                     live = table.live_pages_in(*key)
-                    if best_live is None or live < best_live:
-                        best, best_live = key, live
+                    wear = block.erase_count
+                    if (best_live is None or live < best_live
+                            or (live == best_live and wear < best_wear)):
+                        best, best_live, best_wear = key, live, wear
         return best
 
     # -- mechanism --------------------------------------------------------------

@@ -103,7 +103,29 @@ def compute_fig13():
     return _freeze(rows)
 
 
+def compute_dr():
+    from repro.bench.dr import run_dr_bench
+
+    result = run_dr_bench(seed=7, shards=1, duration_ms=1.0,
+                          transactions=120, jobs=1)
+    rows = []
+    for row in result["steady"] + [result["recovery"]]:
+        # Freeze the scalar surface; the archiver/grid sub-dicts are
+        # summarized by the counters the DR story actually hinges on.
+        flat = {key: value for key, value in row.items()
+                if not isinstance(value, dict)}
+        archiver = row.get("archiver")
+        if archiver:
+            flat["segments_shipped"] = archiver["segments_shipped"]
+            flat["snapshots_taken"] = archiver["snapshots_taken"]
+            flat["archived_lsn"] = archiver["archived_lsn"]
+            flat["archive_lag_lsn"] = archiver["archive_lag_lsn"]
+        rows.append(flat)
+    return _freeze(rows)
+
+
 COMPUTES = {
+    "dr": compute_dr,
     "fig09": compute_fig09,
     "fig10": compute_fig10,
     "fig11": compute_fig11,
@@ -197,6 +219,20 @@ def test_fig12_nand_ordering_survives_realistic_backend():
             >= by["neutral"]["conv_achieved_pct"])
     assert (by["destage-priority"]["fast_achieved_pct"]
             >= by["neutral"]["fast_achieved_pct"])
+
+
+def test_dr_restore_beats_chain_resync():
+    rows = json.loads((GOLDEN_DIR / "dr.json").read_text())
+    recovery = next(r for r in rows if r["cell"] == "recovery")
+    # The DR deliverable: a single replica reseeds from the archive
+    # faster than a full chain resync, without trading away correctness.
+    assert recovery["resync_complete"] and recovery["restore_complete"]
+    assert recovery["restored_matches"] is True
+    assert recovery["restore_ms"] < recovery["resync_ms"]
+    assert recovery["restore_speedup"] > 1.0
+    # The drain snapshot covers any WAL tail still in the CMB, so the
+    # restore is exact even when the segment stream lags a few LSNs.
+    assert recovery["restored_rows"] > 0
 
 
 def test_fig13_faster_updates_cut_latency_but_cost_bandwidth():

@@ -1,0 +1,162 @@
+"""RemoteGrid semantics: timed transfers, partitions, torn uploads, and
+the FaultPlan-driven :class:`GridFaultDriver`.
+
+The grid is the only surviving copy of anything after a total-loss
+schedule, so its failure model has to be exact: a partition costs the
+client the timeout and nothing lands; a mid-flight partition loses the
+bytes already on the wire; a torn PUT persists a *plausible* prefix
+whose landed checksum honestly describes what landed (that checksum
+being wrong relative to the client's intent is the detection signal).
+"""
+
+import pytest
+
+from repro.dr.archive import payload_checksum, payload_nbytes
+from repro.dr.grid import GridFaultDriver, GridUnavailable, RemoteGrid
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.sim import Engine
+
+
+def drive(engine, gen, horizon=1e9):
+    """Run one grid request generator to completion; box the outcome."""
+    box = {}
+    start = engine.now
+
+    def runner():
+        try:
+            box["value"] = yield from gen
+        except Exception as exc:  # noqa: BLE001 — the test inspects it
+            box["error"] = exc
+        box["elapsed"] = engine.now - start
+
+    engine.process(runner(), name="grid-request")
+    engine.run(until=start + horizon)
+    return box
+
+
+def make_grid(**kw):
+    engine = Engine()
+    defaults = dict(base_latency_ns=10_000.0, bandwidth_bytes_per_ns=2.0,
+                    timeout_ns=40_000.0)
+    defaults.update(kw)
+    return engine, RemoteGrid(engine, **defaults)
+
+
+def segmentish(records):
+    payload = {"kind": "segment", "records": list(records)}
+    return payload, payload_nbytes(payload), payload_checksum(payload)
+
+
+class TestTransfers:
+    def test_put_then_get_round_trips_payload_and_checksum(self):
+        engine, grid = make_grid()
+        payload, nbytes, checksum = segmentish([1, 2, 3, 4])
+        box = drive(engine, grid.put("n/wal/000000", payload, nbytes,
+                                     checksum))
+        assert box["value"] == checksum
+        assert box["elapsed"] == pytest.approx(10_000.0 + nbytes / 2.0)
+        box = drive(engine, grid.get("n/wal/000000"))
+        stored = box["value"]
+        assert stored.payload == payload
+        assert stored.checksum == checksum
+        assert not stored.torn
+        assert grid.stats()["bytes_in"] == nbytes
+        assert grid.stats()["bytes_out"] == nbytes
+
+    def test_missing_key_costs_the_round_trip_then_raises(self):
+        engine, grid = make_grid()
+        box = drive(engine, grid.get("n/wal/999999"))
+        assert isinstance(box["error"], KeyError)
+        assert box["elapsed"] == pytest.approx(10_000.0)  # latency, zero bytes
+        assert grid.stats()["failed_requests"] == 1
+
+
+class TestPartitions:
+    def test_partition_times_out_every_request_until_heal(self):
+        engine, grid = make_grid()
+        payload, nbytes, checksum = segmentish([1])
+        grid.sever()
+        box = drive(engine, grid.put("k", payload, nbytes, checksum))
+        assert isinstance(box["error"], GridUnavailable)
+        assert box["elapsed"] == pytest.approx(40_000.0)  # the timeout, not latency
+        assert "k" not in grid.objects
+        grid.heal()
+        box = drive(engine, grid.put("k", payload, nbytes, checksum))
+        assert box["value"] == checksum
+        assert "k" in grid.objects
+
+    def test_mid_flight_partition_loses_the_bytes(self):
+        # A slow wire so the sever lands between the request's start and
+        # the last payload byte.
+        engine, grid = make_grid(bandwidth_bytes_per_ns=0.01)
+        payload, nbytes, checksum = segmentish([1, 2, 3, 4, 5, 6])
+
+        def sever_mid_transfer():
+            yield engine.timeout(10_500.0)  # past latency, into the payload
+            grid.sever()
+
+        engine.process(sever_mid_transfer(), name="saboteur")
+        box = drive(engine, grid.put("k", payload, nbytes, checksum))
+        assert isinstance(box["error"], GridUnavailable)
+        assert "mid-flight" in str(box["error"])
+        assert "k" not in grid.objects
+
+
+class TestTornUploads:
+    def test_armed_put_lands_prefix_with_honest_landed_checksum(self):
+        engine, grid = make_grid()
+        payload, nbytes, checksum = segmentish(["r0", "r1", "r2", "r3"])
+        grid.arm_torn_uploads(1)
+        box = drive(engine, grid.put("k", payload, nbytes, checksum))
+        landed = box["value"]
+        assert landed != checksum
+        stored = grid.objects["k"]
+        assert stored.torn
+        assert stored.payload["records"] == ["r0", "r1"]  # prefix only
+        # The landed checksum describes what actually landed — readback
+        # verification (checksum vs intent) is how a client finds out.
+        assert payload_checksum(stored.payload) == landed
+        assert grid.stats()["torn_uploads"] == 1
+
+    def test_arming_covers_exactly_n_puts(self):
+        engine, grid = make_grid()
+        payload, nbytes, checksum = segmentish(["a", "b"])
+        grid.arm_torn_uploads(1)
+        drive(engine, grid.put("k0", payload, nbytes, checksum))
+        drive(engine, grid.put("k1", payload, nbytes, checksum))
+        assert grid.objects["k0"].torn
+        assert not grid.objects["k1"].torn
+        assert grid.objects["k1"].checksum == checksum
+
+
+class TestGridFaultDriver:
+    def test_applies_grid_specs_in_order_and_logs_them(self):
+        engine, grid = make_grid()
+        plan = FaultPlan([
+            FaultSpec(1_000.0, "grid", FaultKind.GRID_DOWN),
+            FaultSpec(2_000.0, "grid", FaultKind.GRID_UP),
+            FaultSpec(3_000.0, "grid", FaultKind.GRID_TORN_UPLOAD,
+                      {"count": 2}),
+        ])
+        driver = GridFaultDriver(engine, grid, plan)
+        driver.start()
+        engine.run(until=1_500.0)
+        assert grid.partitioned
+        engine.run(until=5_000.0)
+        assert not grid.partitioned
+        assert grid._armed_torn == 2
+        assert [entry["kind"] for entry in driver.fault_log] == [
+            "grid-down", "grid-up", "grid-torn-upload",
+        ]
+        assert [entry["time_ns"] for entry in driver.fault_log] == [
+            1_000.0, 2_000.0, 3_000.0,
+        ]
+        assert driver.fault_log[2]["params"] == {"count": 2}
+
+    def test_rejects_non_grid_specs(self):
+        engine, grid = make_grid()
+        plan = FaultPlan([
+            FaultSpec(0.0, "primary", FaultKind.REPLICA_CRASH),
+        ])
+        with pytest.raises(ValueError):
+            GridFaultDriver(engine, grid, plan)
