@@ -14,6 +14,7 @@ from repro.bench.dr import run_dr_bench
 from repro.bench.fleet import run_fleet_bench
 from repro.bench.kernel import run_kernel_bench
 from repro.bench.nand import run_nand_bench
+from repro.bench.slo import run_slo_bench
 from repro.bench.fig09_local_logging import run_fig09
 from repro.bench.fig10_write_combining import run_fig10
 from repro.bench.fig11_queue_size import run_fig11
@@ -30,6 +31,7 @@ __all__ = [
     "run_fleet_bench",
     "run_kernel_bench",
     "run_nand_bench",
+    "run_slo_bench",
     "run_fig09",
     "run_fig10",
     "run_fig11",

@@ -15,6 +15,7 @@ Usage::
     python -m repro.bench health [--scenario failover|overload|all] [--seed 7]
     python -m repro.bench fleet [--devices 1 2 4] [--tenants 3] [--seed 7]
     python -m repro.bench dr [--txns 500] [--shards 2] [--seed 7]
+    python -m repro.bench slo [--tenants 12] [--target-p99-us 150] [--seed 7]
     python -m repro.bench trace [--scenario chain|fig09|chaos] [--out t.json]
 
 Every subcommand accepts ``--jobs N`` (fan the figure's independent cells
@@ -48,6 +49,7 @@ from repro.bench import (
     run_fleet_bench,
     run_kernel_bench,
     run_nand_bench,
+    run_slo_bench,
 )
 from repro.sim.units import KIB
 
@@ -410,6 +412,60 @@ FIGURES = {
 }
 
 
+def _slo(args):
+    result = run_slo_bench(
+        seed=getattr(args, "seed", 7),
+        nodes=getattr(args, "nodes", 2),
+        tenants=getattr(args, "tenants", 12),
+        day_ms=getattr(args, "day_ms", 3.0),
+        windows=getattr(args, "windows", 12),
+        target_p99_us=getattr(args, "target_p99_us", 150.0),
+        mean_gap_us=getattr(args, "mean_gap_us", 2.0),
+        crowd_amplitude=getattr(args, "crowd_amplitude", 8.0),
+        jobs=_jobs(args),
+    )
+    baseline = result["runs"]["baseline"]
+    controlled = result["runs"]["controlled"]
+    series = []
+    for base_row, ctl_row in zip(baseline["windows"],
+                                 controlled["windows"]):
+        series.append({
+            "window": base_row["window"],
+            "baseline_p99_us": (base_row["p99_ns"] / 1e3
+                                if base_row["p99_ns"] is not None else ""),
+            "controlled_p99_us": (ctl_row["p99_ns"] / 1e3
+                                  if ctl_row["p99_ns"] is not None else ""),
+            "target_us": result["target_p99_us"],
+        })
+    print(format_table(series, (
+        ("window", "window", "d"),
+        ("baseline_p99_us", "baseline p99 [us]", ".1f"),
+        ("controlled_p99_us", "controlled p99 [us]", ".1f"),
+        ("target_us", "target [us]", ".1f"),
+    ), title="SLO — per-window p99 vs target across the compressed day"))
+    summary = [
+        {
+            "mode": label,
+            "commits": run["commits"],
+            "violated_windows": run["violated_windows"],
+            "slo_minutes_violated": run["slo_minutes_violated"],
+        }
+        for label, run in (("baseline", baseline),
+                           ("controlled", controlled))
+    ]
+    print(format_table(summary, (
+        ("mode", "mode", ""),
+        ("commits", "commits", "d"),
+        ("violated_windows", "violated windows", "d"),
+        ("slo_minutes_violated", "SLO-minutes violated", ".0f"),
+    ), title="SLO — day summary"))
+    print(f"\ncontroller: {controlled.get('escalations', 0)} escalations, "
+          f"{controlled.get('deescalations', 0)} de-escalations, "
+          f"{controlled.get('invariant_violations', 0)} durability-fence "
+          f"violations; SLO-minutes saved: {result['slo_minutes_saved']:.0f}")
+    return result
+
+
 def _jobs_count(text):
     value = int(text)
     if value < 0:
@@ -553,6 +609,26 @@ def build_parser():
     dr.add_argument("--segment-bytes", type=int, default=4096,
                     help="WAL bytes per archived segment")
 
+    slo = subparsers.add_parser(
+        "slo", help="SLO control plane: a compressed day with/without the "
+                    "controller")
+    slo.add_argument("--seed", type=int, default=7,
+                     help="traffic/device seed")
+    slo.add_argument("--nodes", type=int, default=2,
+                     help="fleet nodes (replication chains)")
+    slo.add_argument("--tenants", type=int, default=12,
+                     help="diurnal tenants (Zipf-sized)")
+    slo.add_argument("--day-ms", type=float, default=3.0,
+                     help="simulated milliseconds per compressed day")
+    slo.add_argument("--windows", type=int, default=12,
+                     help="SLO evaluation windows across the day")
+    slo.add_argument("--target-p99-us", type=float, default=150.0,
+                     help="the p99 commit-latency SLO target")
+    slo.add_argument("--mean-gap-us", type=float, default=2.0,
+                     help="fleet-mean transaction interarrival gap")
+    slo.add_argument("--crowd-amplitude", type=float, default=8.0,
+                     help="flash-crowd rate multiplier amplitude")
+
     trace = subparsers.add_parser(
         "trace", help="capture a full-stack trace of one scenario")
     trace.add_argument("--scenario", choices=["chain", "fig09", "chaos"],
@@ -575,7 +651,7 @@ def build_parser():
                        help="override the scenario's time budget")
 
     for sub in (fig09, fig10, fig11, fig12, fig13, kernel, nand, chaos,
-                health, fleet, dr, subparsers.choices["all"]):
+                health, fleet, dr, slo, subparsers.choices["all"]):
         _add_common_flags(sub)
     return parser
 
@@ -637,7 +713,7 @@ def main(argv=None):
     else:
         extras = {"kernel": _kernel, "nand": _nand, "chaos": _chaos,
                   "trace": _trace, "health": _health, "fleet": _fleet,
-                  "dr": _dr}
+                  "dr": _dr, "slo": _slo}
         runner = extras.get(args.figure) or FIGURES[args.figure]
         rows = _capturing(trace_path, args.figure, lambda: runner(args))
         if json_path:

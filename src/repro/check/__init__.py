@@ -31,6 +31,14 @@ from repro.check.fleet import (
     run_fleet_check,
     run_fleet_schedule,
 )
+from repro.check.slo import (
+    SLO_FAMILIES,
+    SloCheckConfig,
+    enumerate_slo_schedules,
+    probe_slo_candidates,
+    run_slo_check,
+    run_slo_schedule,
+)
 from repro.check.model import ReferenceModel, chain_frontier_violations
 from repro.check.points import (
     STAGES,
@@ -76,6 +84,12 @@ __all__ = [
     "probe_fleet_candidates",
     "run_fleet_check",
     "run_fleet_schedule",
+    "SLO_FAMILIES",
+    "SloCheckConfig",
+    "enumerate_slo_schedules",
+    "probe_slo_candidates",
+    "run_slo_check",
+    "run_slo_schedule",
     "CrashSchedule",
     "enumerate_schedules",
     "shrink_schedule",

@@ -6,6 +6,7 @@ Examples::
     python -m repro.check --scenario multiwriter --budget 200 --seed 7
     python -m repro.check --scenario local --exhaustive
     python -m repro.check --fleet --budget 30
+    python -m repro.check --slo --budget 20
     python -m repro.check --replay reproducers/chain-combo-2500000ns-seed0.json
 
 Exit status 0 when every schedule passes (or a replayed reproducer no
@@ -63,6 +64,17 @@ def build_parser():
                         help="validate the dr checker: seed the "
                              "silently-dropped-segment archiver bug and "
                              "expect failures")
+    parser.add_argument("--slo", action="store_true",
+                        help="check the SLO control plane instead: an "
+                             "overloaded fleet under an SloController "
+                             "walking its full actuation ladder, with "
+                             "crashes and chain faults landing at every "
+                             "controller transition (slo-overload / "
+                             "slo-adaptation schedule families)")
+    parser.add_argument("--seed-shed-acked-bug", action="store_true",
+                        help="validate the slo checker: arm the "
+                             "controller's seeded shed-acked-commits bug "
+                             "and expect acked-durability failures")
     parser.add_argument("--transactions", type=int, default=24,
                         help="workload transactions (default: 24)")
     parser.add_argument("--out-dir", default="reproducers",
@@ -91,7 +103,17 @@ def main(argv=None):
             emit(f"  {violation}")
         return 1
 
-    if args.dr:
+    if args.slo:
+        from repro.check.slo import SloCheckConfig, run_slo_check
+
+        config = SloCheckConfig(
+            seed=args.seed, nodes=args.nodes,
+            seed_shed_acked_bug=args.seed_shed_acked_bug,
+        )
+        report = run_slo_check(config, budget=args.budget,
+                               exhaustive=args.exhaustive,
+                               out_dir=args.out_dir, log=emit)
+    elif args.dr:
         from repro.check.dr import DrCheckConfig, run_dr_check
 
         config = DrCheckConfig(seed=args.seed, nodes=args.nodes,

@@ -96,5 +96,11 @@ def replay_reproducer(path):
         return run_dr_schedule(
             DrCheckConfig.from_dict(data["config"]), schedule
         )
+    if data["config"].get("scenario") == "slo":
+        from repro.check.slo import SloCheckConfig, run_slo_schedule
+
+        return run_slo_schedule(
+            SloCheckConfig.from_dict(data["config"]), schedule
+        )
     config = CheckConfig.from_dict(data["config"])
     return run_schedule(config, schedule)

@@ -318,6 +318,7 @@ class Fleet:
         self.shards = {}  # shard_id -> Shard
         self.moves = []  # completed migrations: plain dict records
         self.grid = None  # remote archive grid, set by enable_dr
+        self.slo = None  # SloController, set by enable_slo
 
     # -- membership ----------------------------------------------------------------
 
@@ -376,6 +377,24 @@ class Fleet:
             self._instant("dr-enable", name)
         return archivers
 
+    def enable_slo(self, target_p99_ns, **controller_kw):
+        """Attach and start one :class:`~repro.slo.SloController`.
+
+        Call after :meth:`add_nodes`: the controller builds one signal
+        reader per existing node (nodes added later are not
+        auto-covered).  ``controller_kw`` passes through — ``poll_ns``,
+        dwell polls, clamp factors, ``seed_shed_acked_bug`` (the
+        checker's mutation), ``fleet_supervisor`` for rebalance-stall
+        signals.  Returns the controller, started.
+        """
+        from repro.slo import SloController
+
+        if self.slo is not None:
+            raise RuntimeError("fleet already has an SLO controller")
+        self.slo = SloController(self, target_p99_ns, **controller_kw)
+        self.slo.start()
+        return self.slo
+
     def node_of(self, shard_id):
         """The shard's *current* owner (directory, not placement policy)."""
         return self.shards[shard_id].node.name
@@ -406,6 +425,8 @@ class Fleet:
         return sum(shard.commits for shard in self.shards.values())
 
     def stop(self):
+        if self.slo is not None:
+            self.slo.stop()
         for node in self.nodes.values():
             node.stop()
 

@@ -140,6 +140,34 @@ class LogManager:
         if not self._kick.triggered:
             self._kick.succeed()
 
+    def set_group_commit(self, group_commit_bytes=None,
+                         group_commit_timeout_ns=None):
+        """Retune the group-commit thresholds at runtime.
+
+        The dispatcher re-reads both knobs on every carve and every timer
+        arm, so new values take effect from the next batch boundary
+        without touching records already pending, batches already in
+        flight, or the durable prefix — this is the SLO controller's
+        WAL actuator, and it is safe by construction: nothing here can
+        skip or reorder acked durability work.  Returns
+        ``((old_bytes, new_bytes), (old_timeout, new_timeout))``.
+        """
+        old_bytes = self.group_commit_bytes
+        old_timeout = self.group_commit_timeout_ns
+        if group_commit_bytes is not None:
+            if group_commit_bytes <= 0:
+                raise ValueError("group commit threshold must be positive")
+            self.group_commit_bytes = int(group_commit_bytes)
+        if group_commit_timeout_ns is not None:
+            if group_commit_timeout_ns <= 0:
+                raise ValueError("group commit timeout must be positive")
+            self.group_commit_timeout_ns = float(group_commit_timeout_ns)
+        # A waiting dispatcher may be holding out for the *old* byte
+        # threshold; ring it so a lowered threshold applies promptly.
+        self._wake()
+        return ((old_bytes, self.group_commit_bytes),
+                (old_timeout, self.group_commit_timeout_ns))
+
     # -- the dispatcher ------------------------------------------------------------------
 
     def _dispatcher(self):

@@ -181,6 +181,13 @@ class Archiver:
     ``retry_ns``.  The manifest — the byte-stable index restores start
     from — re-ships after every successful object upload.
 
+    With ``retention=True``, each successful snapshot also compacts the
+    archive: sealed segments whose every LSN the snapshot covers are
+    dropped from the manifest (atomically — the slimmed manifest ships
+    before any object is deleted) and their grid objects reclaimed.
+    ``keep_segments`` holds back that many newest covered segments as
+    PITR headroom below the snapshot boundary.
+
     ``drop_segment_seqs`` seeds the archiver bug the mutation tests
     prove the ``--dr`` checker catches: listed segment seqs are sealed,
     recorded in the manifest, and counted as archived — but never
@@ -190,6 +197,7 @@ class Archiver:
     def __init__(self, engine, node, device, database, grid,
                  poll_ns=40_000.0, segment_bytes=2048,
                  snapshot_every_ns=0.0, retry_ns=60_000.0,
+                 retention=False, keep_segments=0,
                  drop_segment_seqs=()):
         from repro.cluster.rebalance import StreamScanner
 
@@ -202,6 +210,10 @@ class Archiver:
         self.segment_bytes = int(segment_bytes)
         self.snapshot_every_ns = float(snapshot_every_ns)
         self.retry_ns = float(retry_ns)
+        self.retention = bool(retention)
+        self.keep_segments = int(keep_segments)
+        if self.keep_segments < 0:
+            raise ValueError("keep_segments must be >= 0")
         self.drop_segment_seqs = frozenset(drop_segment_seqs)
         self.track = f"{node}.dr"
         self.running = False
@@ -219,6 +231,9 @@ class Archiver:
         self.upload_retries = 0
         self.torn_detected = 0
         self.dropped_segments = 0
+        self.segments_pruned = 0
+        self.bytes_reclaimed = 0
+        self.prune_failures = 0
         self.scan_errors = 0
         self.events = []  # [{"time_ns", "action", "seq"}, ...]
 
@@ -365,7 +380,48 @@ class Archiver:
         self.snapshots_taken += 1
         self.bytes_shipped += nbytes
         self._event("ship-snapshot", seq)
+        pruned = self._prunable_segments() if self.retention else []
+        if pruned:
+            # Atomic cutover: drop the covered entries from the manifest
+            # *before* it ships, so no manifest the grid ever serves
+            # references an object a later delete removes.  Objects are
+            # only deleted after the pruned manifest has verifiably
+            # landed; a partition mid-delete leaves harmless garbage
+            # (unreferenced objects), never a dangling manifest entry.
+            self._segment_entries = self._segment_entries[len(pruned):]
         yield from self._ship_manifest()
+        for entry in pruned:
+            try:
+                yield from self.grid.delete(entry["key"])
+            except GridUnavailable:
+                self.prune_failures += 1
+                continue
+            self.segments_pruned += 1
+            self.bytes_reclaimed += entry["nbytes"]
+            self._event("prune-segment", entry["seq"])
+
+    def _prunable_segments(self):
+        """The manifest-prefix of sealed segments a snapshot fully covers.
+
+        A segment is covered when its ``last_lsn`` is at or below the
+        newest snapshot's ``as_of_lsn``: every transaction it holds is
+        already folded into that snapshot's state, so restores (and
+        PITR targets at or after the snapshot) never need it.  Pruning
+        is prefix-only, which keeps the retained segment chain
+        LSN-contiguous for :meth:`~repro.dr.restore.Archive.verify`;
+        ``keep_segments`` retains that many newest covered segments as
+        extra PITR headroom below the snapshot boundary.
+        """
+        if not self._snapshot_entries:
+            return []
+        as_of = max(entry["as_of_lsn"] for entry in self._snapshot_entries)
+        covered = 0
+        for entry in self._segment_entries:
+            if entry["last_lsn"] > as_of:
+                break
+            covered += 1
+        covered = max(0, covered - self.keep_segments)
+        return self._segment_entries[:covered]
 
     def _ship_manifest(self):
         payload = self.manifest_payload()
@@ -422,6 +478,9 @@ class Archiver:
             "upload_retries": self.upload_retries,
             "torn_detected": self.torn_detected,
             "dropped_segments": self.dropped_segments,
+            "segments_pruned": self.segments_pruned,
+            "bytes_reclaimed": self.bytes_reclaimed,
+            "prune_failures": self.prune_failures,
             "scan_errors": self.scan_errors,
             "pages_read": self._scanner.pages_read,
         }

@@ -65,6 +65,8 @@ class RemoteGrid:
         self._armed_torn = 0
         self.puts = 0
         self.gets = 0
+        self.deletes = 0
+        self.bytes_reclaimed = 0
         self.failed_requests = 0
         self.torn_uploads = 0
         self.bytes_in = 0
@@ -146,6 +148,27 @@ class RemoteGrid:
         self.bytes_out += stored.nbytes
         return stored
 
+    def delete(self, key):
+        """Remove the object under ``key``; returns True if it existed.
+
+        Idempotent, S3-style: deleting a missing key is a successful
+        no-op (the retention loop may retry after a partition without
+        tracking which deletes landed).  Charges the base round trip
+        only — deletes move no payload bytes.
+        """
+        if self.partitioned:
+            self.failed_requests += 1
+            yield self.engine.timeout(self.timeout_ns)
+            raise GridUnavailable(f"DELETE {key}: grid partitioned")
+        yield self.engine.timeout(self.base_latency_ns)
+        stored = self.objects.pop(key, None)
+        if stored is None:
+            return False
+        self.deletes += 1
+        self.bytes_reclaimed += stored.nbytes
+        self._instant("delete", key=key, nbytes=stored.nbytes)
+        return True
+
     def list_keys(self, prefix=""):
         """Stored keys under ``prefix`` (a metadata op; no simulated time)."""
         return sorted(key for key in self.objects if key.startswith(prefix))
@@ -155,6 +178,8 @@ class RemoteGrid:
             "objects": len(self.objects),
             "puts": self.puts,
             "gets": self.gets,
+            "deletes": self.deletes,
+            "bytes_reclaimed": self.bytes_reclaimed,
             "failed_requests": self.failed_requests,
             "torn_uploads": self.torn_uploads,
             "bytes_in": self.bytes_in,

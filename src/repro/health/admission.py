@@ -16,7 +16,16 @@ Two checks, both cheap:
   writer may hold more than its share of the ceiling in active calls, so
   a greedy writer is throttled before it can crowd out the others
   (layered on the multiwriter per-lane counters, which track the same
-  notion per lane).
+  notion per lane).  Shares are *weighted*: every lane defaults to
+  weight 1.0 (uniform shares, the original behavior), and the SLO
+  controller may deprioritize a lane by lowering its weight — a bounded,
+  reversible actuation that changes only future admission decisions.
+
+Both the ceiling and the lane weights are runtime actuators
+(:meth:`set_ceiling`, :meth:`set_lane_weight`): they take effect on the
+*next* ``admit`` call and never touch bytes already claimed — shrinking
+the ceiling below the current outstanding level sheds new work, it does
+not abandon admitted work.
 """
 
 from repro.health.errors import DeviceBusy
@@ -34,9 +43,11 @@ class AdmissionController:
         if max_outstanding_bytes <= 0:
             raise ValueError("outstanding ceiling must be positive")
         self.max_outstanding_bytes = max_outstanding_bytes
+        self.baseline_max_outstanding_bytes = max_outstanding_bytes
         self.fair_share = fair_share
         self.name = name or f"{device.name}.admission"
         self._inflight = {}  # writer id -> bytes in active pwrite calls
+        self.lane_weights = {}  # writer id -> fair-share weight (default 1.0)
         self.admitted_chunks = 0
         self.admitted_bytes = 0
         self.rejections = 0
@@ -48,6 +59,7 @@ class AdmissionController:
 
     def register_writer(self, writer_id):
         self._inflight.setdefault(writer_id, 0)
+        self.lane_weights.setdefault(writer_id, 1.0)
 
     def unregister_writer(self, writer_id):
         """Drop a writer's fair-share lane (e.g. a shard migrated away).
@@ -58,6 +70,48 @@ class AdmissionController:
         can call this unconditionally.
         """
         self._inflight.pop(writer_id, None)
+        self.lane_weights.pop(writer_id, None)
+
+    # -- runtime actuators (the SLO controller's knobs) ----------------------------
+
+    def set_ceiling(self, nbytes):
+        """Move the outstanding-bytes ceiling; returns ``(old, new)``.
+
+        Affects only future ``admit`` decisions — bytes already admitted
+        stay admitted, so no acknowledged or in-flight durability work is
+        ever shed retroactively.
+        """
+        nbytes = int(nbytes)
+        if nbytes <= 0:
+            raise ValueError("outstanding ceiling must be positive")
+        old = self.max_outstanding_bytes
+        self.max_outstanding_bytes = nbytes
+        return old, nbytes
+
+    def set_lane_weight(self, writer_id, weight):
+        """Set one lane's fair-share weight; returns ``(old, new)``.
+
+        Weights scale the lane's slice of the ceiling relative to the
+        other registered lanes; 1.0 is the uniform default.  A weight
+        must stay positive — a zero weight would starve the lane's
+        guaranteed single in-flight call, which ``admit`` still honors.
+        """
+        weight = float(weight)
+        if weight <= 0:
+            raise ValueError("lane weight must be positive")
+        self.register_writer(writer_id)
+        old = self.lane_weights.get(writer_id, 1.0)
+        self.lane_weights[writer_id] = weight
+        return old, weight
+
+    def lane_share(self, writer_id):
+        """The lane's current byte share of the ceiling under its weight."""
+        self.register_writer(writer_id)
+        total = sum(self.lane_weights.get(w, 1.0) for w in self._inflight)
+        if total <= 0:
+            return self.max_outstanding_bytes
+        weight = self.lane_weights.get(writer_id, 1.0)
+        return int(self.max_outstanding_bytes * weight / total)
 
     def outstanding_bytes(self):
         """Bytes claimed from the stream but not yet locally persistent."""
@@ -95,7 +149,7 @@ class AdmissionController:
             self._reject(writer_id, nbytes, "device-saturated",
                          outstanding=outstanding)
         if self.fair_share and len(self._inflight) > 1:
-            share = self.max_outstanding_bytes // len(self._inflight)
+            share = self.lane_share(writer_id)
             held = self._inflight[writer_id]
             # A writer always gets at least one call in flight; beyond
             # that it must stay inside its share of the ceiling.

@@ -77,6 +77,9 @@ class ChainSupervisor:
         self.detectors = {}  # site -> HeartbeatDetector
         self.events = []  # chronological health transitions (plain dicts)
         self.brownout_state = BrownoutState.NORMAL
+        self.brownout_enters = 0
+        self.brownout_exits = 0
+        self._mirror_brownout()
         self.probes_answered = 0
         self.probes_timed_out = 0
         self._evicting = set()
@@ -281,6 +284,8 @@ class ChainSupervisor:
         if self._original_policy == self.brownout_policy:
             return
         self.brownout_state = BrownoutState.BROWNOUT
+        self.brownout_enters += 1
+        self._mirror_brownout()
         self.cluster.set_replication_policy(self.brownout_policy)
         self._record(
             "brownout-enter", self.cluster.primary_name,
@@ -293,6 +298,8 @@ class ChainSupervisor:
 
     def _exit_brownout(self, pressure):
         self.brownout_state = BrownoutState.NORMAL
+        self.brownout_exits += 1
+        self._mirror_brownout()
         self.cluster.set_replication_policy(self._original_policy)
         self._record(
             "brownout-exit", self.cluster.primary_name,
@@ -302,3 +309,17 @@ class ChainSupervisor:
         tracer = self.engine.tracer
         if tracer.enabled:
             tracer.counter(self.name, "brownout", 0)
+
+    def _mirror_brownout(self):
+        """Stamp the counters onto the primary device.
+
+        ``device_snapshot`` reports them under ``health`` so gauges (and
+        the SLO controller) can read brownout history without parsing the
+        supervisor's event log or the trace.
+        """
+        device = self.cluster.primary.device
+        device.brownout_enters = self.brownout_enters
+        device.brownout_exits = self.brownout_exits
+        device.brownout_active = int(
+            self.brownout_state is BrownoutState.BROWNOUT
+        )

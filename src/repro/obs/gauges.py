@@ -28,6 +28,9 @@ GAUGE_PATHS = (
     (("destage", "pages_written"), "destage_pages_written"),
     (("transport", "visible_credit"), "visible_credit"),
     (("faults", "sends_retried"), "sends_retried"),
+    (("health", "brownout_enters"), "brownout_enters"),
+    (("health", "brownout_exits"), "brownout_exits"),
+    (("health", "brownout_active"), "brownout_active"),
 )
 
 

@@ -6,9 +6,18 @@
 * :mod:`repro.workloads.ycsb` — a key/value update workload with zipfian
   skew, for broader coverage;
 * :mod:`repro.workloads.synthetic` — raw append streams with controlled
-  write sizes and rates, used by the microbenchmarks (Figs. 10-13).
+  write sizes and rates, used by the microbenchmarks (Figs. 10-13);
+* :mod:`repro.workloads.diurnal` — bursty multi-tenant traffic (regional
+  day/night sinusoids, Poisson flash crowds, Zipf tenant sizes) driving
+  the SLO control-plane experiments.
 """
 
+from repro.workloads.diurnal import (
+    DiurnalTrafficModel,
+    FlashCrowd,
+    bursty_tenant_stream,
+    zipf_weights,
+)
 from repro.workloads.synthetic import AppendStream, paced_append_stream
 from repro.workloads.tpcc import TpccConfig, TpccWorkload
 from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
@@ -20,4 +29,8 @@ __all__ = [
     "YcsbWorkload",
     "AppendStream",
     "paced_append_stream",
+    "DiurnalTrafficModel",
+    "FlashCrowd",
+    "bursty_tenant_stream",
+    "zipf_weights",
 ]

@@ -1,0 +1,151 @@
+"""Archive retention: snapshot-covered segments pruned, manifest atomic.
+
+``Archiver(retention=True)`` compacts after every successful snapshot:
+sealed segments whose every LSN the snapshot covers leave the manifest
+first (so no served manifest ever references an object a later delete
+removes), then their grid objects are reclaimed.  These tests pin the
+contract: pruning actually reclaims bytes, the pruned archive still
+verifies clean and restores the exact live state, ``keep_segments``
+holds back PITR headroom, retention is off by default, and the grid's
+DELETE is idempotent and partition-aware.
+"""
+
+import pytest
+
+from repro.dr.grid import GridUnavailable, RemoteGrid
+from repro.dr.restore import Archive, restore_state
+from repro.sim import Engine
+
+from tests.dr.test_restore import (
+    drain_archivers,
+    node_tables,
+    run_archived_workload,
+)
+
+
+def run_retained_workload(**kw):
+    kw.setdefault("retention", True)
+    kw.setdefault("snapshot_every_ns", 500_000.0)
+    return run_archived_workload(**kw)
+
+
+def test_covered_segments_are_pruned_and_reclaimed():
+    engine, fleet, grid, _models = run_retained_workload()
+    archiver = fleet.nodes["node0"].archiver
+    assert archiver.segments_pruned >= 1, "no segment was ever covered"
+    assert archiver.bytes_reclaimed > 0
+    assert archiver.prune_failures == 0
+    assert grid.deletes == archiver.segments_pruned
+    assert grid.bytes_reclaimed == archiver.bytes_reclaimed
+    # The manifest shrank: sealed > retained, and every pruned object
+    # is genuinely gone from the grid.
+    manifest = archiver.manifest_payload()
+    sealed = archiver._next_segment_seq
+    retained_seqs = {entry["seq"] for entry in manifest["segments"]}
+    assert len(retained_seqs) < sealed
+    pruned_seqs = set(range(sealed)) - retained_seqs
+    assert pruned_seqs
+    stored = set(grid.list_keys("node0/wal/"))
+    for entry in manifest["segments"]:
+        assert entry["key"] in stored, "manifest references a deleted object"
+    assert len(stored) == len(retained_seqs), (
+        "pruned segment objects were left behind"
+    )
+
+
+def test_pruned_archive_verifies_and_restores_live_state():
+    engine, fleet, grid, _models = run_retained_workload()
+    assert fleet.nodes["node0"].archiver.segments_pruned >= 1
+    archive = Archive.load_sync(grid, "node0")
+    assert archive.verify() == [], (
+        "retention broke the archive: " + "; ".join(archive.verify()[:3])
+    )
+    state, _versions = restore_state(archive)
+    assert state == node_tables(fleet.nodes["node0"])
+
+
+def test_pitr_still_reaches_retained_boundaries():
+    """Commit boundaries in *retained* segments stay PITR-reachable.
+
+    With ``keep_segments`` headroom the compactor leaves a covered tail
+    behind the snapshot; every boundary inside it must still restore
+    exactly (boundaries in pruned segments are the traded-away ones).
+    """
+    engine, fleet, grid, models = run_retained_workload(keep_segments=1)
+    assert fleet.nodes["node0"].archiver.segments_pruned >= 1
+    model = models["s0"]
+    archive = Archive.load_sync(grid, "node0")
+    boundaries = archive.commit_boundaries()
+    assert boundaries, "keep_segments=1 left no replay tail"
+    ids = model.sequence_ids("s0")
+    commit_lsn_of = dict(
+        (txn_id, lsn) for lsn, txn_id in boundaries
+    )
+    # A boundary L is reachable when some snapshot cut at ``s <= L``
+    # exists AND the retained segment chain extends from it (covers
+    # ``(s, L]``) — exactly what retention promises to preserve.
+    first_lsn = archive.manifest["segments"][0]["first_lsn"]
+    usable_bases = [
+        entry["as_of_lsn"]
+        for entry in archive.manifest["snapshots"]
+        if entry["as_of_lsn"] >= first_lsn - 1
+    ]
+    reachable = [
+        (k, txn_id) for k, txn_id in enumerate(ids, start=1)
+        if txn_id in commit_lsn_of
+        and any(base <= commit_lsn_of[txn_id] for base in usable_bases)
+    ]
+    assert reachable, "no acked commit is PITR-reachable in the tail"
+    for k, txn_id in reachable:
+        state, _versions = restore_state(
+            archive, upto_lsn=commit_lsn_of[txn_id]
+        )
+        assert state.get("s0.kv", {}) == model.prefix_state("s0", k), (
+            f"PITR diverged at retained commit boundary {k}"
+        )
+
+
+def test_keep_segments_holds_back_headroom():
+    engine, fleet, grid, _models = run_retained_workload(keep_segments=1000)
+    archiver = fleet.nodes["node0"].archiver
+    assert archiver.segments_pruned == 0
+    assert grid.deletes == 0
+    # Every sealed segment is still in the manifest and the grid.
+    manifest = archiver.manifest_payload()
+    assert len(manifest["segments"]) == archiver._next_segment_seq
+
+
+def test_retention_defaults_off():
+    engine, fleet, grid, _models = run_archived_workload(
+        snapshot_every_ns=500_000.0
+    )
+    archiver = fleet.nodes["node0"].archiver
+    assert archiver.retention is False
+    assert archiver.segments_pruned == 0
+    assert grid.deletes == 0
+    assert len(archiver.manifest_payload()["segments"]) == (
+        archiver._next_segment_seq
+    )
+
+
+def test_grid_delete_is_idempotent_and_partition_aware():
+    engine = Engine()
+    grid = RemoteGrid(engine)
+    outcomes = []
+
+    def driver():
+        yield from grid.put("a", {"kind": "x"}, 8, "c0")
+        outcomes.append((yield from grid.delete("a")))
+        outcomes.append((yield from grid.delete("a")))  # idempotent no-op
+        grid.sever()
+        try:
+            yield from grid.delete("a")
+        except GridUnavailable:
+            outcomes.append("unavailable")
+        grid.heal()
+
+    engine.process(driver(), name="delete-driver")
+    engine.run(until=1_000_000.0)
+    assert outcomes == [True, False, "unavailable"]
+    assert grid.deletes == 1
+    assert "a" not in grid.objects

@@ -1,6 +1,8 @@
 """Admission control and the typed overload errors at the host boundary."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster.topology import replicated_pair
 from repro.health import AdmissionController, CreditStarvation, DeviceBusy
@@ -67,6 +69,214 @@ class TestAdmissionController:
             admission.admit("w", 0)
         with pytest.raises(ValueError):
             AdmissionController(device, max_outstanding_bytes=0)
+
+
+class TestBurstyCreditRefill:
+    """A flash-crowd burst saturates; destage retiring bytes reopens it.
+
+    ``outstanding = stream_claimed - credit``: the burst drives claimed
+    bytes to the ceiling, and only the credit counter advancing (destage
+    retiring work) restores headroom — exactly the bursty pattern the
+    SLO bench's flash crowds produce.
+    """
+
+    def test_burst_saturates_then_refill_reopens_exact_headroom(self):
+        _engine, device = make_xssd_device()
+        admission = AdmissionController(device, max_outstanding_bytes=4096)
+        # The burst: admit-and-claim until the ceiling is hit.
+        admitted = 0
+        while True:
+            try:
+                admission.admit("w0", 1024)
+            except DeviceBusy:
+                break
+            device.claim_stream_range(1024)
+            admitted += 1024
+        assert admitted == 4096
+        assert admission.rejections_by_reason == {"device-saturated": 1}
+        # Destage retires half the burst: exactly that much headroom
+        # returns — not a byte more.
+        device.cmb.credit.set_at_least(2048)
+        admission.admit("w0", 2048)
+        device.claim_stream_range(2048)
+        with pytest.raises(DeviceBusy):
+            admission.admit("w0", 1)
+
+    def test_repeated_bursts_admit_after_each_full_drain(self):
+        _engine, device = make_xssd_device()
+        admission = AdmissionController(device, max_outstanding_bytes=2048)
+        retired = 0
+        for burst in range(3):
+            admission.admit("w0", 2048)
+            device.claim_stream_range(2048)
+            with pytest.raises(DeviceBusy):
+                admission.admit("w0", 1)
+            retired += 2048
+            device.cmb.credit.set_at_least(retired)
+        assert admission.rejections == 3
+        assert admission.admitted_bytes == 3 * 2048
+
+    def test_shrunk_ceiling_sheds_new_bursts_not_admitted_work(self):
+        _engine, device = make_xssd_device()
+        admission = AdmissionController(device, max_outstanding_bytes=8192)
+        admission.admit("w0", 4096)
+        device.claim_stream_range(4096)
+        old, new = admission.set_ceiling(2048)
+        assert (old, new) == (8192, 2048)
+        # Already-claimed bytes stay; only the *next* burst is shed.
+        assert admission.outstanding_bytes() == 4096
+        with pytest.raises(DeviceBusy):
+            admission.admit("w0", 1)
+        # Retire-then-admit works against the new, smaller ceiling.
+        device.cmb.credit.set_at_least(3072)
+        admission.admit("w0", 1024)
+
+
+class TestLaneWeights:
+    """Weighted fair shares: the SLO controller's lane actuator."""
+
+    def _admission(self, writers=("a", "b"), ceiling=8192):
+        _engine, device = make_xssd_device()
+        admission = AdmissionController(device,
+                                        max_outstanding_bytes=ceiling)
+        for writer in writers:
+            admission.register_writer(writer)
+        return admission
+
+    def test_uniform_weights_preserve_integer_shares(self):
+        admission = self._admission()
+        assert admission.lane_share("a") == 4096
+        assert admission.lane_share("b") == 4096
+
+    def test_deprioritized_lane_shrinks_others_grow(self):
+        admission = self._admission()
+        old, new = admission.set_lane_weight("a", 0.5)
+        assert (old, new) == (1.0, 0.5)
+        assert admission.lane_share("a") == int(8192 * 0.5 / 1.5)
+        assert admission.lane_share("b") == int(8192 * 1.0 / 1.5)
+        # The throttle actually bites at the shrunken share.
+        admission.admit("a", 2000)
+        with pytest.raises(DeviceBusy) as info:
+            admission.admit("a", 1000)  # 3000 > 2730-byte share
+        assert info.value.reason == "fair-throttle"
+        # The favored lane rides its grown share past the old 4096 split.
+        admission.admit("b", 4500)
+
+    def test_reweighting_is_reversible(self):
+        admission = self._admission()
+        admission.set_lane_weight("a", 0.5)
+        old, new = admission.set_lane_weight("a", 1.0)
+        assert (old, new) == (0.5, 1.0)
+        assert admission.lane_share("a") == 4096
+
+    def test_tiny_weight_lane_keeps_one_call_in_flight(self):
+        admission = self._admission()
+        admission.set_lane_weight("a", 0.001)
+        # Share rounds toward zero, but the first call always admits.
+        admission.admit("a", 512)
+        with pytest.raises(DeviceBusy):
+            admission.admit("a", 512)
+
+    def test_departed_lane_stops_diluting_shares(self):
+        admission = self._admission(writers=("a", "b", "c"))
+        admission.set_lane_weight("c", 4.0)
+        assert admission.lane_share("a") == int(8192 * 1.0 / 6.0)
+        admission.unregister_writer("c")
+        assert admission.lane_share("a") == 4096
+
+    def test_rejects_non_positive_weight(self):
+        admission = self._admission()
+        with pytest.raises(ValueError):
+            admission.set_lane_weight("a", 0.0)
+        with pytest.raises(ValueError):
+            admission.set_lane_weight("a", -1.0)
+
+
+# One writer per lane; ops interleave admits and releases across lanes.
+_LANES = ("a", "b", "c")
+
+
+@st.composite
+def _shed_ops(draw):
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=40))):
+        kind = draw(st.sampled_from(("admit", "release", "retire",
+                                     "reweight", "ceiling")))
+        lane = draw(st.sampled_from(_LANES))
+        if kind == "admit":
+            ops.append((kind, lane, draw(st.integers(1, 3000))))
+        elif kind == "release":
+            ops.append((kind, lane, draw(st.integers(1, 3000))))
+        elif kind == "retire":
+            ops.append((kind, None, draw(st.integers(1, 4096))))
+        elif kind == "reweight":
+            ops.append((kind, lane,
+                        draw(st.sampled_from((0.25, 0.5, 1.0, 2.0)))))
+        else:
+            ops.append((kind, None,
+                        draw(st.sampled_from((2048, 4096, 8192)))))
+    return ops
+
+
+class TestShedAccountingProperty:
+    """Hypothesis: shed work is accounted exactly, never silently lost.
+
+    Under any interleaving of admits, releases, credit retirement, lane
+    reweighting, and ceiling moves: every admit either lands in the
+    admitted counters or raises DeviceBusy and lands in the rejection
+    counters — totals reconcile byte-for-byte, per-writer and per-reason
+    histograms sum to the same rejection count, and in-flight lane held
+    bytes never go negative.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_shed_ops())
+    def test_every_byte_is_admitted_or_counted_shed(self, ops):
+        _engine, device = make_xssd_device()
+        admission = AdmissionController(device, max_outstanding_bytes=4096)
+        for lane in _LANES:
+            admission.register_writer(lane)
+        admitted_bytes = 0
+        admitted_chunks = 0
+        rejected_bytes = 0
+        rejections = 0
+        claimed = 0
+        retired = 0
+        for kind, lane, amount in ops:
+            if kind == "admit":
+                try:
+                    admission.admit(lane, amount)
+                except DeviceBusy as busy:
+                    rejections += 1
+                    rejected_bytes += amount
+                    assert busy.writer_id == lane
+                    assert busy.reason in ("device-saturated",
+                                           "fair-throttle")
+                else:
+                    admitted_chunks += 1
+                    admitted_bytes += amount
+                    device.claim_stream_range(amount)
+                    claimed += amount
+            elif kind == "release":
+                admission.release(lane, amount)
+            elif kind == "retire":
+                retired = min(claimed, retired + amount)
+                device.cmb.credit.set_at_least(retired)
+            elif kind == "reweight":
+                admission.set_lane_weight(lane, amount)
+            else:
+                admission.set_ceiling(amount)
+        # Byte-for-byte reconciliation: nothing vanished between the
+        # admitted and shed ledgers.
+        assert admission.admitted_bytes == admitted_bytes
+        assert admission.admitted_chunks == admitted_chunks
+        assert admission.rejected_bytes == rejected_bytes
+        assert admission.rejections == rejections
+        assert sum(admission.rejections_by_writer.values()) == rejections
+        assert sum(admission.rejections_by_reason.values()) == rejections
+        assert admission.outstanding_bytes() == claimed - retired
+        for lane in _LANES:
+            assert admission._inflight[lane] >= 0
 
 
 class TestAdmittedPwrite:
